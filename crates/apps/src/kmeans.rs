@@ -1,0 +1,267 @@
+//! k-Means clustering (paper §IV-A: heavy computation, low-medium I/O,
+//! small reduction object; k = 1000 in the evaluation).
+//!
+//! One pass assigns every point to its nearest centroid and accumulates
+//! per-centroid coordinate sums and counts in a [`VecSum`] of length
+//! `k * (dim + 1)` — the classic generalized-reduction formulation. The
+//! driver ([`next_centroids`], [`Centroids::update`]) recomputes centroids
+//! between passes; iteration happens by re-running the framework with new
+//! [`Centroids`] params.
+
+use crate::points;
+use cb_storage::layout::ChunkMeta;
+use cloudburst_core::api::GRApp;
+use cloudburst_core::combine::VecSum;
+
+/// Broadcast parameters of one k-means pass: the current centroids,
+/// flattened row-major (`k * dim`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Centroids {
+    pub dim: usize,
+    pub flat: Vec<f64>,
+}
+
+impl Centroids {
+    pub fn new(dim: usize, flat: Vec<f64>) -> Self {
+        assert!(dim > 0);
+        assert_eq!(flat.len() % dim, 0, "ragged centroid array");
+        Centroids { dim, flat }
+    }
+
+    pub fn k(&self) -> usize {
+        self.flat.len() / self.dim
+    }
+
+    pub fn centroid(&self, c: usize) -> &[f64] {
+        &self.flat[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index of the centroid nearest to `p`.
+    pub fn nearest(&self, p: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for c in 0..self.k() {
+            let cent = self.centroid(c);
+            let mut d = 0.0;
+            for (x, y) in p.iter().zip(cent) {
+                let diff = *x as f64 - y;
+                d += diff * diff;
+            }
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// The k-means application.
+#[derive(Debug, Clone)]
+pub struct KMeansApp {
+    pub dim: usize,
+    pub k: usize,
+}
+
+impl KMeansApp {
+    pub fn new(dim: usize, k: usize) -> Self {
+        assert!(dim > 0 && k > 0);
+        KMeansApp { dim, k }
+    }
+
+    /// Reduction-object layout: for centroid `c`, slots
+    /// `[c*(dim+1) .. c*(dim+1)+dim)` are coordinate sums and slot
+    /// `c*(dim+1)+dim` is the point count.
+    pub fn robj_len(&self) -> usize {
+        self.k * (self.dim + 1)
+    }
+}
+
+impl GRApp for KMeansApp {
+    type Unit = Vec<f32>;
+    type RObj = VecSum;
+    type Params = Centroids;
+
+    fn decode_chunk(&self, meta: &ChunkMeta, bytes: &[u8]) -> Vec<Vec<f32>> {
+        let pts = points::decode(bytes, self.dim);
+        assert_eq!(pts.len() as u64, meta.units, "unit count mismatch");
+        pts
+    }
+
+    fn init(&self, params: &Centroids) -> VecSum {
+        assert_eq!(params.k(), self.k, "params have wrong k");
+        assert_eq!(params.dim, self.dim, "params have wrong dim");
+        VecSum::zeros(self.robj_len())
+    }
+
+    fn local_reduce(&self, params: &Centroids, robj: &mut VecSum, unit: &Vec<f32>) {
+        let c = params.nearest(unit);
+        let base = c * (self.dim + 1);
+        for (d, &x) in unit.iter().enumerate() {
+            robj.add_at(base + d, x as f64);
+        }
+        robj.add_at(base + self.dim, 1.0);
+    }
+}
+
+/// Compute the next centroids from a pass's reduction object. Centroids
+/// that attracted no points keep their previous position (the standard
+/// empty-cluster policy).
+pub fn next_centroids(app: &KMeansApp, robj: &VecSum, prev: &Centroids) -> Centroids {
+    assert_eq!(robj.len(), app.robj_len());
+    let mut flat = Vec::with_capacity(app.k * app.dim);
+    for c in 0..app.k {
+        let base = c * (app.dim + 1);
+        let count = robj.values()[base + app.dim];
+        if count > 0.0 {
+            for d in 0..app.dim {
+                flat.push(robj.values()[base + d] / count);
+            }
+        } else {
+            flat.extend_from_slice(prev.centroid(c));
+        }
+    }
+    Centroids::new(app.dim, flat)
+}
+
+/// Maximum centroid displacement between two parameter sets (convergence
+/// metric).
+pub fn centroid_shift(a: &Centroids, b: &Centroids) -> f64 {
+    assert_eq!(a.flat.len(), b.flat.len());
+    (0..a.k())
+        .map(|c| {
+            a.centroid(c)
+                .iter()
+                .zip(b.centroid(c))
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Sequential reference: one full assignment-and-update pass over `pts`.
+pub fn kmeans_reference_pass(pts: &[Vec<f32>], params: &Centroids) -> Centroids {
+    let dim = params.dim;
+    let k = params.k();
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0u64; k];
+    for p in pts {
+        let c = params.nearest(p);
+        for (d, &x) in p.iter().enumerate() {
+            sums[c * dim + d] += x as f64;
+        }
+        counts[c] += 1;
+    }
+    let mut flat = Vec::with_capacity(k * dim);
+    for c in 0..k {
+        if counts[c] > 0 {
+            for d in 0..dim {
+                flat.push(sums[c * dim + d] / counts[c] as f64);
+            }
+        } else {
+            flat.extend_from_slice(params.centroid(c));
+        }
+    }
+    Centroids::new(dim, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_storage::layout::{ChunkId, FileId};
+    use cloudburst_core::api::run_sequential;
+
+    fn meta(id: u32, n: u64, dim: usize) -> ChunkMeta {
+        ChunkMeta {
+            id: ChunkId(id),
+            file: FileId(0),
+            offset: 0,
+            len: n * points::unit_bytes(dim),
+            units: n,
+        }
+    }
+
+    fn encode(pts: &[f32]) -> Vec<u8> {
+        let mut buf = vec![0u8; pts.len() * 4];
+        points::encode_into(pts, 1, &mut buf); // dim irrelevant for raw encode
+        buf
+    }
+
+    #[test]
+    fn nearest_centroid() {
+        let c = Centroids::new(2, vec![0.0, 0.0, 10.0, 10.0]);
+        assert_eq!(c.nearest(&[1.0, 1.0]), 0);
+        assert_eq!(c.nearest(&[9.0, 9.0]), 1);
+        assert_eq!(c.k(), 2);
+    }
+
+    #[test]
+    fn one_pass_matches_reference() {
+        let app = KMeansApp::new(2, 2);
+        let pts: Vec<Vec<f32>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![9.0, 9.0],
+            vec![10.0, 10.0],
+        ];
+        let flat: Vec<f32> = pts.iter().flatten().copied().collect();
+        let params = Centroids::new(2, vec![0.5, 0.5, 9.5, 9.5]);
+
+        let robj = run_sequential(&app, &params, vec![(meta(0, 4, 2), encode(&flat))]);
+        let got = next_centroids(&app, &robj, &params);
+        let expect = kmeans_reference_pass(&pts, &params);
+        assert_eq!(got, expect);
+        assert_eq!(got.centroid(0), &[0.5, 0.5]);
+        assert_eq!(got.centroid(1), &[9.5, 9.5]);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_previous_centroid() {
+        let app = KMeansApp::new(1, 2);
+        let params = Centroids::new(1, vec![0.0, 100.0]);
+        let pts = vec![1.0f32, 2.0]; // all near centroid 0
+        let robj = run_sequential(&app, &params, vec![(meta(0, 2, 1), encode(&pts))]);
+        let next = next_centroids(&app, &robj, &params);
+        assert_eq!(next.centroid(1), &[100.0], "empty cluster unchanged");
+        assert!((next.centroid(0)[0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_shift_metric() {
+        let a = Centroids::new(2, vec![0.0, 0.0, 1.0, 1.0]);
+        let b = Centroids::new(2, vec![0.0, 0.0, 4.0, 5.0]);
+        assert!((centroid_shift(&a, &b) - 5.0).abs() < 1e-12);
+        assert_eq!(centroid_shift(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn iteration_converges_on_blobs() {
+        // Two tight blobs; k-means should land on their means in a few passes.
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            let j = (i % 7) as f32 * 0.01;
+            pts.push(vec![1.0 + j, 1.0 - j]);
+            pts.push(vec![8.0 - j, 8.0 + j]);
+        }
+        let mut params = Centroids::new(2, vec![0.0, 0.0, 10.0, 10.0]);
+        for _ in 0..10 {
+            let next = kmeans_reference_pass(&pts, &params);
+            if centroid_shift(&params, &next) < 1e-9 {
+                params = next;
+                break;
+            }
+            params = next;
+        }
+        assert!((params.centroid(0)[0] - 1.03).abs() < 0.05);
+        assert!((params.centroid(1)[0] - 7.97).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong k")]
+    fn mismatched_params_rejected() {
+        let app = KMeansApp::new(2, 3);
+        let params = Centroids::new(2, vec![0.0, 0.0]);
+        app.init(&params);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cb-apps — the evaluation applications
+//!
+//! The three data-intensive applications of the paper's evaluation
+//! (§IV-A), plus wordcount for the API-comparison experiments:
+//!
+//! * [`knn`] — k-Nearest-Neighbors search: low compute, medium-high I/O,
+//!   small reduction object (a bounded top-k heap).
+//! * [`kmeans`] — k-Means clustering: heavy compute, low-medium I/O, small
+//!   reduction object (per-centroid sums and counts).
+//! * [`pagerank`] — PageRank: low-medium compute, high I/O, **very large**
+//!   reduction object (dense rank accumulator over all pages).
+//! * [`wordcount`] — keyed counting, expressed on both the generalized-
+//!   reduction API and the baseline MapReduce engine.
+//! * [`selection`] — distributed grep over point records (data-dependent
+//!   reduction-object size).
+//! * [`sample`] — distributed uniform sampling (order-insensitive bottom-k
+//!   sketch) and k-means++ seeding on the sample.
+//!
+//! Plus the substrate the examples/tests share:
+//!
+//! * [`points`] — the fixed-dimension point record format.
+//! * [`gen`] — deterministic synthetic dataset generators (uniform points,
+//!   Gaussian blobs, power-law web graphs, skewed word streams).
+//! * [`scenario`] — one-call construction of the paper's hybrid
+//!   local+cloud environments at laptop scale.
+
+#![deny(unsafe_code)]
+
+pub mod gen;
+pub mod kmeans;
+pub mod knn;
+pub mod pagerank;
+pub mod mr_adapters;
+pub mod points;
+pub mod sample;
+pub mod scenario;
+pub mod selection;
+pub mod stats;
+pub mod wordcount;

@@ -1,0 +1,88 @@
+//! Fixed-dimension point records: the on-disk format shared by knn and
+//! k-means.
+//!
+//! A data unit is one point: `dim` little-endian `f32` coordinates
+//! (`unit_bytes = 4 * dim`). Chunks hold whole points by construction of the
+//! organizer.
+
+/// Byte size of one point record.
+pub fn unit_bytes(dim: usize) -> u64 {
+    (dim * 4) as u64
+}
+
+/// Encode `points` (flattened row-major) into `buf`. Panics if sizes do not
+/// line up — generation bugs should fail fast.
+pub fn encode_into(points: &[f32], dim: usize, buf: &mut [u8]) {
+    assert_eq!(points.len() % dim, 0, "ragged point array");
+    assert_eq!(
+        buf.len(),
+        points.len() * 4,
+        "buffer/points size mismatch"
+    );
+    for (src, dst) in points.iter().zip(buf.chunks_exact_mut(4)) {
+        dst.copy_from_slice(&src.to_le_bytes());
+    }
+}
+
+/// Decode a chunk's bytes into owned points.
+pub fn decode(bytes: &[u8], dim: usize) -> Vec<Vec<f32>> {
+    assert_eq!(
+        bytes.len() % (dim * 4),
+        0,
+        "chunk not a whole number of {dim}-d points"
+    );
+    bytes
+        .chunks_exact(dim * 4)
+        .map(|rec| {
+            rec.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Squared Euclidean distance.
+pub fn dist2(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let pts = vec![1.0f32, 2.0, 3.0, -4.5, 0.25, 1e-7];
+        let mut buf = vec![0u8; 24];
+        encode_into(&pts, 3, &mut buf);
+        let back = decode(&buf, 3);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(back[1], vec![-4.5, 0.25, 1e-7]);
+    }
+
+    #[test]
+    fn unit_bytes_matches_encoding() {
+        assert_eq!(unit_bytes(3), 12);
+        assert_eq!(unit_bytes(1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_chunk_rejected() {
+        decode(&[0u8; 10], 3);
+    }
+
+    #[test]
+    fn dist2_basic() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[1.0], &[1.0]), 0.0);
+    }
+}

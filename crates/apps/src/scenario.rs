@@ -1,0 +1,259 @@
+//! Ready-made hybrid-cloud environments at laptop scale.
+//!
+//! Builds the paper's experimental setups — a local cluster plus a cloud
+//! cluster, data split between a local store and a simulated S3, optional
+//! wall-clock throttling on the remote paths — so examples and integration
+//! tests construct an environment in one call.
+
+use cb_simnet::Throttle;
+use cb_storage::builder::{materialize, StoreMap};
+use cb_storage::layout::{ChunkMeta, DatasetLayout, LocationId, Placement};
+use cb_storage::s3sim::{RemoteProfile, RemoteStore};
+use cb_storage::store::{MemStore, ObjectStore};
+use cloudburst_core::deploy::{ClusterSpec, DataFabric, Deployment};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Site of the local cluster (and its storage node).
+pub const LOCAL: LocationId = LocationId(0);
+/// Site of the cloud cluster (and the S3-like store).
+pub const CLOUD: LocationId = LocationId(1);
+
+/// Wall-clock throttling profile of a hybrid environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ThrottleOpts {
+    /// How the cloud cluster reaches the S3-like store (intra-cloud).
+    pub cloud_to_s3: RemoteProfile,
+    /// How the local cluster reaches the S3-like store (across the WAN).
+    pub local_to_s3: RemoteProfile,
+    /// How the cloud cluster reaches the local storage node (across the WAN).
+    pub cloud_to_local: RemoteProfile,
+    /// Bandwidth for shipping the cloud cluster's reduction object to the
+    /// head during global reduction, bytes/sec.
+    pub robj_wan_bps: f64,
+    /// Latency of that transfer.
+    pub robj_wan_latency: Duration,
+    /// Master↔head request round trip for the cloud cluster.
+    pub head_rtt: Duration,
+}
+
+impl ThrottleOpts {
+    /// A profile scaled so that laptop-sized tests finish in seconds while
+    /// preserving the paper's orderings: local disk ≫ intra-cloud S3 ≫ WAN.
+    pub fn scaled_default() -> Self {
+        ThrottleOpts {
+            cloud_to_s3: RemoteProfile {
+                request_latency: Duration::from_millis(2),
+                aggregate_bps: 400.0e6,
+                per_conn_bps: 60.0e6,
+            },
+            local_to_s3: RemoteProfile {
+                request_latency: Duration::from_millis(8),
+                aggregate_bps: 120.0e6,
+                per_conn_bps: 20.0e6,
+            },
+            cloud_to_local: RemoteProfile {
+                request_latency: Duration::from_millis(8),
+                aggregate_bps: 120.0e6,
+                per_conn_bps: 20.0e6,
+            },
+            robj_wan_bps: 100.0e6,
+            robj_wan_latency: Duration::from_millis(10),
+            head_rtt: Duration::from_millis(4),
+        }
+    }
+}
+
+/// A fully wired hybrid environment.
+pub struct HybridEnv {
+    pub layout: DatasetLayout,
+    pub placement: Placement,
+    pub deployment: Deployment,
+    /// The raw (unthrottled) backing stores, keyed by site — kept for
+    /// inspection and sabotage in tests.
+    pub backing: StoreMap,
+}
+
+/// Options for [`build_hybrid`].
+#[derive(Debug, Clone, Copy)]
+pub struct HybridOpts {
+    /// Fraction of files homed at the local site (1.0 = env-local data,
+    /// 0.0 = everything in S3).
+    pub frac_local: f64,
+    /// Worker cores in the local cluster (0 = no local cluster).
+    pub local_cores: usize,
+    /// Worker cores in the cloud cluster (0 = no cloud cluster).
+    pub cloud_cores: usize,
+    /// Wall-clock throttling; `None` = infinitely fast fabric (pure
+    /// correctness testing).
+    pub throttle: Option<ThrottleOpts>,
+}
+
+/// Materialize `layout` with `fill` into a two-site environment and wire the
+/// deployment the paper's experiments use.
+pub fn build_hybrid<F>(layout: DatasetLayout, mut fill: F, opts: HybridOpts) -> io::Result<HybridEnv>
+where
+    F: FnMut(&ChunkMeta, &mut [u8]),
+{
+    assert!(
+        opts.local_cores + opts.cloud_cores > 0,
+        "at least one cluster needs cores"
+    );
+    let placement = Placement::split_fraction(layout.files.len(), opts.frac_local, LOCAL, CLOUD);
+
+    let local_store: Arc<dyn ObjectStore> = Arc::new(MemStore::new("local-store"));
+    let cloud_store: Arc<dyn ObjectStore> = Arc::new(MemStore::new("s3-backing"));
+    let mut backing: StoreMap = BTreeMap::new();
+    backing.insert(LOCAL, Arc::clone(&local_store));
+    backing.insert(CLOUD, Arc::clone(&cloud_store));
+    materialize(&layout, &placement, &backing, &mut fill)?;
+
+    let mut fabric = DataFabric::new();
+    match opts.throttle {
+        None => {
+            fabric.set_path(LOCAL, LOCAL, Arc::clone(&local_store));
+            fabric.set_path(LOCAL, CLOUD, Arc::clone(&cloud_store));
+            fabric.set_path(CLOUD, CLOUD, Arc::clone(&cloud_store));
+            fabric.set_path(CLOUD, LOCAL, Arc::clone(&local_store));
+        }
+        Some(t) => {
+            fabric.set_path(LOCAL, LOCAL, Arc::clone(&local_store));
+            fabric.set_path(
+                LOCAL,
+                CLOUD,
+                Arc::new(RemoteStore::new(
+                    "s3-via-wan",
+                    Arc::clone(&cloud_store),
+                    t.local_to_s3,
+                )),
+            );
+            fabric.set_path(
+                CLOUD,
+                CLOUD,
+                Arc::new(RemoteStore::new(
+                    "s3-intra-cloud",
+                    Arc::clone(&cloud_store),
+                    t.cloud_to_s3,
+                )),
+            );
+            fabric.set_path(
+                CLOUD,
+                LOCAL,
+                Arc::new(RemoteStore::new(
+                    "local-via-wan",
+                    Arc::clone(&local_store),
+                    t.cloud_to_local,
+                )),
+            );
+        }
+    }
+
+    let mut clusters = Vec::new();
+    if opts.local_cores > 0 {
+        clusters.push(ClusterSpec::new("local", LOCAL, opts.local_cores));
+    }
+    if opts.cloud_cores > 0 {
+        let mut spec = ClusterSpec::new("EC2", CLOUD, opts.cloud_cores);
+        if let Some(t) = opts.throttle {
+            spec = spec
+                .with_wan(Arc::new(Throttle::new(t.robj_wan_bps, t.robj_wan_latency)))
+                .with_head_rtt(t.head_rtt);
+        }
+        clusters.push(spec);
+    }
+
+    Ok(HybridEnv {
+        deployment: Deployment::new(clusters, fabric),
+        layout,
+        placement,
+        backing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_storage::organizer::organize_even;
+
+    fn tiny_layout() -> DatasetLayout {
+        organize_even(4, 256, 64, 8).unwrap()
+    }
+
+    #[test]
+    fn builds_two_clusters_with_full_fabric() {
+        let env = build_hybrid(
+            tiny_layout(),
+            |_, buf| buf.fill(1),
+            HybridOpts {
+                frac_local: 0.5,
+                local_cores: 2,
+                cloud_cores: 3,
+                throttle: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(env.deployment.clusters.len(), 2);
+        assert_eq!(env.deployment.total_cores(), 5);
+        env.deployment.validate(&[LOCAL, CLOUD]).unwrap();
+        assert_eq!(env.placement.files_at(LOCAL).count(), 2);
+    }
+
+    #[test]
+    fn cloud_only_env() {
+        let env = build_hybrid(
+            tiny_layout(),
+            |_, buf| buf.fill(0),
+            HybridOpts {
+                frac_local: 0.0,
+                local_cores: 0,
+                cloud_cores: 4,
+                throttle: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(env.deployment.clusters.len(), 1);
+        assert_eq!(env.deployment.clusters[0].name, "EC2");
+        // All files landed in the cloud store.
+        assert_eq!(env.backing[&CLOUD].list().len(), 4);
+        assert_eq!(env.backing[&LOCAL].list().len(), 0);
+    }
+
+    #[test]
+    fn throttled_env_has_distinct_paths() {
+        let env = build_hybrid(
+            tiny_layout(),
+            |_, buf| buf.fill(0),
+            HybridOpts {
+                frac_local: 0.5,
+                local_cores: 1,
+                cloud_cores: 1,
+                throttle: Some(ThrottleOpts::scaled_default()),
+            },
+        )
+        .unwrap();
+        let f = &env.deployment.fabric;
+        assert_eq!(f.store_for(LOCAL, CLOUD).unwrap().name(), "s3-via-wan");
+        assert_eq!(f.store_for(CLOUD, CLOUD).unwrap().name(), "s3-intra-cloud");
+        assert_eq!(f.store_for(CLOUD, LOCAL).unwrap().name(), "local-via-wan");
+        assert_eq!(f.store_for(LOCAL, LOCAL).unwrap().name(), "local-store");
+        assert!(env.deployment.clusters[1].wan_to_head.is_some());
+        assert!(env.deployment.clusters[0].wan_to_head.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_cores_rejected() {
+        let _ = build_hybrid(
+            tiny_layout(),
+            |_, _| {},
+            HybridOpts {
+                frac_local: 0.5,
+                local_cores: 0,
+                cloud_cores: 0,
+                throttle: None,
+            },
+        );
+    }
+}

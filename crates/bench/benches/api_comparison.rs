@@ -1,0 +1,86 @@
+//! Fig. 1 as a benchmark: the same workload on MapReduce, MapReduce with
+//! combiner, and generalized reduction. Criterion gives the wall-time side
+//! of the comparison; `repro fig1` prints the memory/shuffle side.
+
+use cb_apps::mr_adapters::WordCountMR;
+use cb_apps::wordcount::WordCountApp;
+use cb_mapreduce::{run_mapreduce, MRConfig};
+use cb_simnet::DetRng;
+use cloudburst_core::api::{GRApp, ReductionObject};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const WORDS: usize = 500_000;
+const SPLITS: usize = 16;
+
+fn make_splits() -> Vec<Vec<u64>> {
+    let mut rng = DetRng::new(77);
+    let all: Vec<u64> = (0..WORDS)
+        .map(|_| {
+            let u = rng.uniform();
+            ((u * u * u) * 20_000.0) as u64 % 20_000
+        })
+        .collect();
+    all.chunks(WORDS / SPLITS).map(|c| c.to_vec()).collect()
+}
+
+fn bench_apis(c: &mut Criterion) {
+    let splits = make_splits();
+    let mut g = c.benchmark_group("wordcount_500k");
+    g.throughput(Throughput::Elements(WORDS as u64));
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::from_parameter("mapreduce"), |b| {
+        b.iter(|| {
+            let (out, _) = run_mapreduce(&WordCountMR, splits.clone(), &MRConfig::default());
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function(BenchmarkId::from_parameter("mapreduce_combine"), |b| {
+        let cfg = MRConfig {
+            use_combiner: true,
+            flush_threshold: 8192,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let (out, _) = run_mapreduce(&WordCountMR, splits.clone(), &cfg);
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function(BenchmarkId::from_parameter("generalized_reduction"), |b| {
+        let app = WordCountApp;
+        let app = &app;
+        b.iter(|| {
+            // Parallel folding, then merge — same thread count as the MR
+            // engine's default mappers.
+            let robjs: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = splits
+                    .chunks(splits.len().div_ceil(4))
+                    .map(|group| {
+                        scope.spawn(move || {
+                            let mut r = app.init(&());
+                            for split in group {
+                                for w in split {
+                                    app.local_reduce(&(), &mut r, w);
+                                }
+                            }
+                            r
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut acc = app.init(&());
+            for r in robjs {
+                acc.merge(r);
+            }
+            black_box(acc.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apis);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure-regeneration benchmarks: how long the calibrated simulator takes
+//! to reproduce one paper environment or sweep. (Each "iteration" is a
+//! complete 120 GB / 960-job experiment in virtual time.)
+
+use cb_sim::calib::{self, App, NetConstants};
+use cb_sim::experiments::{run_fig3, run_fig4, DEFAULT_SEED};
+use cb_sim::model::simulate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_single_env(c: &mut Criterion) {
+    let net = NetConstants::default();
+    let mut g = c.benchmark_group("simulate_one_env");
+    for app in App::ALL {
+        let env = &calib::fig3_envs(app)[4]; // env-17/83: most events
+        g.bench_function(BenchmarkId::from_parameter(app.name()), |b| {
+            b.iter(|| {
+                let params = calib::build_params(app, env, &net, DEFAULT_SEED);
+                black_box(simulate(params).unwrap().total_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_figures(c: &mut Criterion) {
+    let net = NetConstants::default();
+    let mut g = c.benchmark_group("regenerate_figure");
+    g.sample_size(10);
+    g.bench_function("fig3_knn_all_envs", |b| {
+        b.iter(|| black_box(run_fig3(App::Knn, &net, DEFAULT_SEED).len()))
+    });
+    g.bench_function("fig4_pagerank_sweep", |b| {
+        b.iter(|| black_box(run_fig4(App::PageRank, &net, DEFAULT_SEED).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_env, bench_full_figures);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Substrate benchmarks: event-queue and DES-engine throughput, and the
+//! fair-share link under churn — the costs that bound how fast the
+//! simulator can regenerate a figure.
+
+use cb_simnet::engine::{Ctx, Engine, World};
+use cb_simnet::event::EventQueue;
+use cb_simnet::link::FairShareLink;
+use cb_simnet::time::{SimDur, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                // Pseudo-shuffled timestamps exercise heap reordering.
+                q.push(SimTime((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc ^= e;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// A self-perpetuating event chain: measures pure engine dispatch.
+struct Chain {
+    remaining: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_after(SimDur::from_nanos(1), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_engine");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Chain { remaining: n });
+            eng.schedule(SimTime::ZERO, ());
+            black_box(eng.run())
+        })
+    });
+    g.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fair_share_link");
+    for flows in [8usize, 64, 256] {
+        g.bench_function(format!("churn_{flows}_flows"), |b| {
+            b.iter(|| {
+                let mut link = FairShareLink::with_capacity(1.0e9);
+                let mut now = SimTime::ZERO;
+                // Start a staggered population, then drain it.
+                for i in 0..flows {
+                    link.start_flow(now, 1_000_000 + i as u64, i as u64);
+                    now += SimDur::from_micros(100);
+                }
+                let mut done = 0;
+                while let Some(t) = link.next_completion() {
+                    done += link.poll_completed(t).len();
+                }
+                black_box(done)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_engine, bench_link);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! The Fig. 1 experiment: the same computation expressed three ways —
+//! MapReduce, MapReduce + combiner, and generalized reduction — measured on
+//! real data for wall time, shuffle volume, and peak intermediate pairs.
+//!
+//! This is the paper's §III-A argument made quantitative: the combiner cuts
+//! *communication* but still materializes intermediate `(k,v)` pairs on the
+//! map side; generalized reduction folds directly into the reduction object
+//! and has no intermediate pairs at all.
+
+use cb_apps::kmeans::{Centroids, KMeansApp};
+use cb_apps::mr_adapters::{KMeansMR, WordCountMR};
+use cb_apps::wordcount::WordCountApp;
+use cb_mapreduce::{run_mapreduce, MRConfig};
+use cb_simnet::DetRng;
+use cloudburst_core::api::{reduce_units, GRApp, ReductionObject};
+use std::time::Instant;
+
+/// One row of the comparison.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    pub workload: &'static str,
+    pub api: &'static str,
+    pub wall_s: f64,
+    /// Intermediate pairs that crossed the shuffle (0 for GR — there is no
+    /// shuffle).
+    pub shuffled_pairs: u64,
+    /// Peak simultaneously-buffered intermediate pairs (GR: 0).
+    pub peak_pairs: u64,
+    /// Bytes of reduction state per worker (GR robj / reducer groups).
+    pub state_bytes: u64,
+}
+
+/// Generate `n` words with a skewed distribution.
+fn words(n: usize, vocab: u64, seed: u64) -> Vec<u64> {
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|_| {
+            let u = rng.uniform();
+            ((u * u * u) * vocab as f64) as u64 % vocab
+        })
+        .collect()
+}
+
+/// Generate `n` points in `dim` dimensions.
+fn points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = DetRng::new(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| (rng.uniform() * 10.0) as f32).collect())
+        .collect()
+}
+
+/// Run the wordcount comparison over `n_words` words in `splits` splits.
+pub fn wordcount_comparison(n_words: usize, splits: usize) -> Vec<Fig1Row> {
+    let all = words(n_words, 50_000, 42);
+    let split_vecs: Vec<Vec<u64>> = all.chunks(n_words.div_ceil(splits)).map(|c| c.to_vec()).collect();
+    let mut rows = Vec::new();
+
+    // MapReduce, no combiner.
+    let t = Instant::now();
+    let (_, stats) = run_mapreduce(&WordCountMR, split_vecs.clone(), &MRConfig::default());
+    rows.push(Fig1Row {
+        workload: "wordcount",
+        api: "MapReduce",
+        wall_s: t.elapsed().as_secs_f64(),
+        shuffled_pairs: stats.pairs_shuffled,
+        peak_pairs: stats.peak_buffered_pairs,
+        state_bytes: stats.keys_reduced * 16,
+    });
+
+    // MapReduce + combiner.
+    let t = Instant::now();
+    let (_, stats) = run_mapreduce(
+        &WordCountMR,
+        split_vecs.clone(),
+        &MRConfig {
+            use_combiner: true,
+            flush_threshold: 16 * 1024,
+            ..Default::default()
+        },
+    );
+    rows.push(Fig1Row {
+        workload: "wordcount",
+        api: "MR + combine",
+        wall_s: t.elapsed().as_secs_f64(),
+        shuffled_pairs: stats.pairs_shuffled,
+        peak_pairs: stats.peak_buffered_pairs,
+        state_bytes: stats.keys_reduced * 16,
+    });
+
+    // Generalized reduction: fold every split into a robj, merge.
+    let t = Instant::now();
+    let app = WordCountApp;
+    let mut robjs: Vec<_> = split_vecs
+        .iter()
+        .map(|split| {
+            let mut r = app.init(&());
+            for w in split {
+                app.local_reduce(&(), &mut r, w);
+            }
+            r
+        })
+        .collect();
+    let mut acc = robjs.remove(0);
+    for r in robjs {
+        acc.merge(r);
+    }
+    rows.push(Fig1Row {
+        workload: "wordcount",
+        api: "GenReduction",
+        wall_s: t.elapsed().as_secs_f64(),
+        shuffled_pairs: 0,
+        peak_pairs: 0,
+        state_bytes: acc.size_bytes() as u64,
+    });
+    rows
+}
+
+/// Run the k-means (one pass) comparison.
+pub fn kmeans_comparison(n_points: usize, dim: usize, k: usize, splits: usize) -> Vec<Fig1Row> {
+    let pts = points(n_points, dim, 7);
+    let centroids = Centroids::new(
+        dim,
+        points(k, dim, 8).into_iter().flatten().map(|x| x as f64).collect(),
+    );
+    let split_vecs: Vec<Vec<Vec<f32>>> = pts
+        .chunks(n_points.div_ceil(splits))
+        .map(|c| c.to_vec())
+        .collect();
+    let mut rows = Vec::new();
+
+    let job = KMeansMR::new(centroids.clone());
+    let t = Instant::now();
+    let (_, stats) = run_mapreduce(&job, split_vecs.clone(), &MRConfig::default());
+    rows.push(Fig1Row {
+        workload: "kmeans",
+        api: "MapReduce",
+        wall_s: t.elapsed().as_secs_f64(),
+        shuffled_pairs: stats.pairs_shuffled,
+        peak_pairs: stats.peak_buffered_pairs,
+        state_bytes: stats.keys_reduced * (dim as u64 * 8 + 8),
+    });
+
+    let t = Instant::now();
+    let (_, stats) = run_mapreduce(
+        &job,
+        split_vecs.clone(),
+        &MRConfig {
+            use_combiner: true,
+            flush_threshold: 4096,
+            ..Default::default()
+        },
+    );
+    rows.push(Fig1Row {
+        workload: "kmeans",
+        api: "MR + combine",
+        wall_s: t.elapsed().as_secs_f64(),
+        shuffled_pairs: stats.pairs_shuffled,
+        peak_pairs: stats.peak_buffered_pairs,
+        state_bytes: stats.keys_reduced * (dim as u64 * 8 + 8),
+    });
+
+    let app = KMeansApp::new(dim, k);
+    let t = Instant::now();
+    let mut robjs: Vec<_> = split_vecs
+        .iter()
+        .map(|split| {
+            let mut r = app.init(&centroids);
+            reduce_units(&app, &centroids, &mut r, split);
+            r
+        })
+        .collect();
+    let mut acc = robjs.remove(0);
+    for r in robjs {
+        acc.merge(r);
+    }
+    rows.push(Fig1Row {
+        workload: "kmeans",
+        api: "GenReduction",
+        wall_s: t.elapsed().as_secs_f64(),
+        shuffled_pairs: 0,
+        peak_pairs: 0,
+        state_bytes: acc.size_bytes() as u64,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordcount_rows_show_the_fig1_ordering() {
+        let rows = wordcount_comparison(200_000, 8);
+        assert_eq!(rows.len(), 3);
+        let mr = &rows[0];
+        let mrc = &rows[1];
+        let gr = &rows[2];
+        assert!(mrc.shuffled_pairs < mr.shuffled_pairs);
+        assert_eq!(gr.shuffled_pairs, 0);
+        assert_eq!(gr.peak_pairs, 0);
+        assert!(mrc.peak_pairs < mr.peak_pairs);
+    }
+
+    #[test]
+    fn kmeans_rows_show_the_fig1_ordering() {
+        let rows = kmeans_comparison(50_000, 4, 16, 8);
+        let mr = &rows[0];
+        let mrc = &rows[1];
+        let gr = &rows[2];
+        assert!(mrc.shuffled_pairs < mr.shuffled_pairs / 10);
+        assert_eq!(gr.shuffled_pairs, 0);
+        assert!(gr.state_bytes > 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Plain-text table rendering for the `repro` harness.
+
+/// Render rows as an aligned table. `header` and every row must have the
+/// same arity.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for r in rows {
+        assert_eq!(r.len(), cols, "ragged table row");
+        for (i, cell) in r.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, width: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>w$}", c, w = width[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &width,
+    ));
+    let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r.clone(), &width));
+    }
+    out
+}
+
+/// `123.456` → `"123.46"`.
+pub fn s2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// `0.1234` → `"12.3%"`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "42".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("42"));
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(s2(1.2345), "1.23");
+        assert_eq!(pct(0.155), "15.5%");
+    }
+}

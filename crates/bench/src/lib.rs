@@ -1,0 +1,10 @@
+//! # cb-bench — benchmark harness library
+//!
+//! Shared pieces of the `repro` binary and the Criterion benches: the Fig. 1
+//! API-comparison experiment (which needs real execution, not the simulator)
+//! and table-formatting helpers.
+
+#![deny(unsafe_code)]
+
+pub mod fig1;
+pub mod fmt;

@@ -1,0 +1,136 @@
+//! A small `--flag value` argument parser (the workspace deliberately has
+//! no CLI-framework dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags plus positional arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// Error produced while parsing or reading arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `--key value` pairs and positionals. `--key=value` also works.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(stripped) = a.strip_prefix("--") {
+                if let Some((k, v)) = stripped.split_once('=') {
+                    args.flags.insert(k.to_owned(), v.to_owned());
+                } else {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{stripped} needs a value")))?;
+                    args.flags.insert(stripped.to_owned(), v);
+                }
+            } else {
+                args.positional.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string flag, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// An optional flag parsed to `T`, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// A required flag parsed to `T`.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self.require(key)?;
+        v.parse()
+            .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}")))
+    }
+
+    /// Reject unknown flags (catches typos early).
+    pub fn check_known(&self, known: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k}; expected one of: {}",
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&["organize", "--store", "/tmp/x", "--chunk-bytes", "4096", "extra"]);
+        assert_eq!(a.positional(), &["organize", "extra"]);
+        assert_eq!(a.get("store"), Some("/tmp/x"));
+        assert_eq!(a.get_or("chunk-bytes", 0u64).unwrap(), 4096);
+        assert_eq!(a.get_or("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse(&["--k=v", "--n=3"]);
+        assert_eq!(a.get("k"), Some("v"));
+        assert_eq!(a.require_parsed::<u32>("n").unwrap(), 3);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let err = Args::parse(vec!["--dangling".to_string()]).unwrap_err();
+        assert!(err.0.contains("needs a value"));
+    }
+
+    #[test]
+    fn require_and_parse_errors() {
+        let a = parse(&["--n", "abc"]);
+        assert!(a.require("absent").is_err());
+        assert!(a.require_parsed::<u32>("n").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = parse(&["--good", "1", "--typo", "2"]);
+        assert!(a.check_known(&["good"]).is_err());
+        assert!(a.check_known(&["good", "typo"]).is_ok());
+    }
+}

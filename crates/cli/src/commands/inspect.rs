@@ -1,0 +1,48 @@
+//! `cloudburst inspect` — decode, validate, and summarize an index file.
+
+use super::CmdError;
+use crate::args::Args;
+use cb_storage::index;
+use std::fmt::Write as _;
+
+pub const USAGE: &str = "cloudburst inspect <index-file> [--chunks true]";
+
+pub fn run(args: &Args) -> Result<String, CmdError> {
+    args.check_known(&["chunks"])?;
+    let path = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| CmdError::Other(format!("usage: {USAGE}")))?;
+    let show_chunks: bool = args.get_or("chunks", false)?;
+
+    let bytes = std::fs::read(path)?;
+    let layout = index::decode(&bytes).map_err(|e| CmdError::Other(e.to_string()))?;
+
+    let mut s = String::new();
+    let _ = writeln!(s, "index {path}: VALID");
+    let _ = writeln!(
+        s,
+        "  {} files, {} chunks (jobs), {} bytes, {} data units",
+        layout.files.len(),
+        layout.n_jobs(),
+        layout.total_bytes(),
+        layout.total_units(),
+    );
+    let min = layout.chunks.iter().map(|c| c.len).min().unwrap_or(0);
+    let max = layout.chunks.iter().map(|c| c.len).max().unwrap_or(0);
+    let _ = writeln!(s, "  chunk sizes: min {min} / max {max} bytes");
+    for f in &layout.files {
+        let n = layout.chunks_of_file(f.id).count();
+        let _ = writeln!(s, "  {}  {} bytes  {} chunks", f.name, f.size, n);
+    }
+    if show_chunks {
+        for c in &layout.chunks {
+            let _ = writeln!(
+                s,
+                "    {} file{} offset {} len {} units {}",
+                c.id, c.file.0, c.offset, c.len, c.units
+            );
+        }
+    }
+    Ok(s)
+}

@@ -1,0 +1,42 @@
+//! Subcommand implementations. Each returns the text it would print, so
+//! integration tests can drive commands without spawning processes.
+
+pub mod generate;
+pub mod inspect;
+pub mod organize;
+pub mod run;
+pub mod simulate;
+
+use crate::args::ArgError;
+
+/// Uniform error type for commands: argument problems or I/O.
+#[derive(Debug)]
+pub enum CmdError {
+    Args(ArgError),
+    Io(std::io::Error),
+    Other(String),
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Args(e) => write!(f, "{e}"),
+            CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError::Io(e)
+    }
+}

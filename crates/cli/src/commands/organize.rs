@@ -1,0 +1,50 @@
+//! `cloudburst organize` — analyze a directory of data files and write the
+//! index file the head node consumes (the paper's offline data organizer).
+
+use super::CmdError;
+use crate::args::Args;
+use cb_storage::index;
+use cb_storage::organizer::{analyze_store, OrganizerConfig};
+use cb_storage::store::DiskStore;
+use std::fmt::Write as _;
+
+pub const USAGE: &str = "cloudburst organize --store <dir> --unit-bytes <n> \
+[--chunk-bytes <n>] [--out <index-file>]";
+
+pub fn run(args: &Args) -> Result<String, CmdError> {
+    args.check_known(&["store", "unit-bytes", "chunk-bytes", "out"])?;
+    let dir = args.require("store")?;
+    let unit_bytes: u64 = args.require_parsed("unit-bytes")?;
+    let chunk_bytes: u64 = args.get_or("chunk-bytes", 4 * 1024 * 1024)?;
+    // Default the index *next to* the data directory, not inside it — an
+    // index stored among the data files would itself be swept up by the
+    // next `organize` run.
+    let out = args
+        .get("out")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}.grix", dir.trim_end_matches('/')));
+
+    let store = DiskStore::open("disk", dir)?;
+    let layout = analyze_store(
+        &store,
+        &OrganizerConfig {
+            chunk_bytes,
+            unit_bytes,
+        },
+    )
+    .map_err(|e| CmdError::Other(e.to_string()))?;
+    let encoded = index::encode(&layout);
+    std::fs::write(&out, &encoded)?;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "organized {} files ({} bytes) into {} chunks of <= {} bytes",
+        layout.files.len(),
+        layout.total_bytes(),
+        layout.n_jobs(),
+        chunk_bytes,
+    );
+    let _ = writeln!(s, "index written to {out} ({} bytes)", encoded.len());
+    Ok(s)
+}

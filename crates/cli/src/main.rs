@@ -1,0 +1,65 @@
+//! `cloudburst` — the command-line face of the framework.
+//!
+//! ```text
+//! cloudburst generate --kind words --out /tmp/corpus
+//! cloudburst organize --store /tmp/corpus --unit-bytes 8
+//! cloudburst inspect /tmp/corpus.grix
+//! cloudburst run --app wordcount --index /tmp/corpus.grix --data /tmp/corpus
+//! cloudburst simulate --app pagerank --env 17/83 --timeline true
+//! ```
+
+#![deny(unsafe_code)]
+
+mod args;
+mod commands;
+
+use args::Args;
+use commands::{generate, inspect, organize, run, simulate};
+
+fn usage() -> String {
+    format!(
+        "cloudburst — data-intensive computing with cloud bursting\n\n\
+         subcommands:\n  {}\n  {}\n  {}\n  {}\n  {}\n",
+        generate::USAGE,
+        organize::USAGE,
+        inspect::USAGE,
+        run::USAGE,
+        simulate::USAGE
+    )
+}
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let Some(cmd) = args.positional().first().map(String::as_str) else {
+        eprint!("{}", usage());
+        std::process::exit(2);
+    };
+    let result = match cmd {
+        "generate" => generate::run(&args),
+        "organize" => organize::run(&args),
+        "inspect" => inspect::run(&args),
+        "run" => run::run(&args),
+        "simulate" => simulate::run(&args),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            return;
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    match result {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! End-to-end CLI test: drive the installed binary through the full
+//! generate → organize → inspect → run → simulate workflow on a temp
+//! directory, exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cloudburst"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("spawn cloudburst");
+    assert!(
+        out.status.success(),
+        "cloudburst {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("spawn cloudburst");
+    assert!(!out.status.success(), "cloudburst {args:?} unexpectedly succeeded");
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cb-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn full_workflow_generate_organize_inspect_run() {
+    let dir = temp_dir("flow");
+    let dir_s = dir.to_str().unwrap();
+    let index = format!("{dir_s}.grix");
+
+    // generate a words dataset on disk
+    let out = run_ok(&[
+        "generate", "--kind", "words", "--out", dir_s, "--files", "4", "--per-file", "5000",
+        "--per-chunk", "1000", "--vocab", "500",
+    ]);
+    assert!(out.contains("generated"), "{out}");
+    assert!(out.contains("4 files / 20 chunks"), "{out}");
+
+    // organize re-derives the same index from the raw files
+    let reout = run_ok(&[
+        "organize", "--store", dir_s, "--unit-bytes", "8", "--chunk-bytes", "8000",
+    ]);
+    assert!(reout.contains("into 20 chunks"), "{reout}");
+
+    // inspect validates it
+    let ins = run_ok(&["inspect", &index]);
+    assert!(ins.contains("VALID"), "{ins}");
+    assert!(ins.contains("20 chunks"), "{ins}");
+
+    // run wordcount over it
+    let run_out = run_ok(&[
+        "run", "--app", "wordcount", "--index", &index, "--data", dir_s, "--cores", "2",
+    ]);
+    assert!(run_out.contains("distinct words"), "{run_out}");
+    assert!(run_out.contains("jobs"), "{run_out}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_file(&index).unwrap();
+}
+
+#[test]
+fn knn_run_over_generated_points() {
+    let dir = temp_dir("knn");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate", "--kind", "points", "--out", dir_s, "--files", "3", "--per-file", "2000",
+        "--per-chunk", "500", "--dim", "3",
+    ]);
+    let index = format!("{dir_s}.grix");
+    let out = run_ok(&[
+        "run", "--app", "knn", "--index", &index, "--data", dir_s, "--dim", "3", "--k", "5",
+    ]);
+    assert!(out.contains("5 nearest"), "{out}");
+    assert_eq!(out.matches("distance²").count(), 5, "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_file(&index).unwrap();
+}
+
+#[test]
+fn split_site_run_matches_single_site() {
+    // Generate once, then split the files across two directories and run
+    // hybrid: the answer must match the single-site run.
+    let dir = temp_dir("split-a");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate", "--kind", "words", "--out", dir_s, "--files", "4", "--per-file", "3000",
+        "--per-chunk", "750", "--vocab", "100", "--seed", "5",
+    ]);
+    let index = format!("{dir_s}.grix");
+
+    let single = run_ok(&[
+        "run", "--app", "wordcount", "--index", &index, "--data", dir_s,
+    ]);
+
+    // Move the second half of the files to a second "site".
+    let dir2 = temp_dir("split-b");
+    std::fs::create_dir_all(&dir2).unwrap();
+    for f in ["part-00002", "part-00003"] {
+        std::fs::rename(dir.join(f), dir2.join(f)).unwrap();
+    }
+    let hybrid = run_ok(&[
+        "run", "--app", "wordcount", "--index", &index, "--data", dir_s, "--data2",
+        dir2.to_str().unwrap(), "--frac-local", "0.5", "--cores", "2", "--cores2", "2",
+    ]);
+
+    // Compare the word tables (first lines up to the report).
+    let table = |s: &str| -> Vec<String> {
+        s.lines()
+            .take_while(|l| !l.starts_with("cluster"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(table(&single), table(&hybrid));
+    assert!(hybrid.contains("remote"), "hybrid report lists the second cluster");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir2).unwrap();
+    std::fs::remove_file(&index).unwrap();
+}
+
+#[test]
+fn simulate_subcommand_prints_report() {
+    let out = run_ok(&["simulate", "--app", "knn", "--env", "17/83"]);
+    assert!(out.contains("simulating knn on env-17/83"), "{out}");
+    assert!(out.contains("global-reduction"), "{out}");
+
+    let with_timeline = run_ok(&[
+        "simulate", "--app", "kmeans", "--env", "50/50", "--timeline", "true",
+    ]);
+    assert!(with_timeline.contains("gantt over"), "{with_timeline}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let e = run_err(&["frobnicate"]);
+    assert!(e.contains("unknown subcommand"), "{e}");
+
+    let e = run_err(&["simulate", "--app", "nope"]);
+    assert!(e.contains("unknown --app"), "{e}");
+
+    let e = run_err(&["run", "--app", "wordcount", "--index", "/no/such/file", "--data", "/tmp"]);
+    assert!(e.contains("error"), "{e}");
+
+    let e = run_err(&["organize", "--store", "/tmp", "--unit-bytes", "8", "--typo", "x"]);
+    assert!(e.contains("unknown flag"), "{e}");
+}
+
+#[test]
+fn inspect_rejects_corrupt_index() {
+    let dir = temp_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.grix");
+    std::fs::write(&path, b"GRIXgarbage-not-an-index").unwrap();
+    let e = run_err(&["inspect", path.to_str().unwrap()]);
+    assert!(e.contains("checksum") || e.contains("truncated"), "{e}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn simulate_config_file() {
+    let dir = temp_dir("config");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("scenario.json");
+    std::fs::write(
+        &path,
+        r#"{ "app": "knn", "frac_local": 0.25, "local_cores": 8, "cloud_cores": 8,
+             "wan_multiplier": 4.0, "allow_stealing": false }"#,
+    )
+    .unwrap();
+    let out = run_ok(&["simulate", "--config", path.to_str().unwrap()]);
+    assert!(out.contains("custom-25/75"), "{out}");
+    assert!(out.contains("global-reduction"), "{out}");
+    // Stealing disabled: the stolen column of both clusters must be zero.
+    for line in out.lines().filter(|l| l.starts_with("local") || l.starts_with("EC2")) {
+        assert!(line.trim_end().ends_with('0'), "no stealing expected: {line}");
+    }
+
+    // Unknown fields are rejected (typo protection).
+    std::fs::write(&path, r#"{ "app": "knn", "frac_locaal": 0.25 }"#).unwrap();
+    let e = run_err(&["simulate", "--config", path.to_str().unwrap()]);
+    assert!(e.contains("unknown field"), "{e}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pagerank_run_over_generated_graph() {
+    let dir = temp_dir("pr");
+    let dir_s = dir.to_str().unwrap();
+    run_ok(&[
+        "generate", "--kind", "graph", "--out", dir_s, "--files", "3", "--per-file", "4000",
+        "--per-chunk", "1000", "--pages", "300",
+    ]);
+    let index = format!("{dir_s}.grix");
+    let out = run_ok(&[
+        "run", "--app", "pagerank", "--index", &index, "--data", dir_s, "--passes", "6",
+    ]);
+    assert!(out.contains("pagerank: 300 pages") || out.contains("pagerank: 2"), "{out}");
+    assert!(out.contains("pass 1: delta"), "{out}");
+    assert!(out.contains("rank"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_file(&index).unwrap();
+}

@@ -1,0 +1,96 @@
+//! Runtime configuration knobs.
+
+use crate::sched::pool::PoolConfig;
+
+/// Configuration of the in-process cloud-bursting runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Head-side assignment policy.
+    pub pool: PoolConfig,
+    /// Master refills from the head when its queue drops to this size.
+    pub master_low_water: usize,
+    /// Parallel connections each slave uses for *remote* chunk retrieval
+    /// (the paper's "multiple retrieval threads").
+    pub retrieval_threads: usize,
+    /// Data units folded per local-reduction group. The paper sizes unit
+    /// groups to the processor cache; functionally it only affects batching
+    /// granularity, and it is the hook for the synthetic compute weight.
+    pub cache_group_units: usize,
+    /// Extra attempts per ranged GET after the first (transient remote
+    /// failures happen against real object services).
+    pub retrieval_retries: u32,
+    /// Initial backoff before a retry (doubles per attempt).
+    pub retrieval_backoff: std::time::Duration,
+    /// Artificial extra compute, in nanoseconds per data unit, applied on
+    /// top of the real fold. Lets tests and examples shape an application's
+    /// compute-to-I/O ratio (e.g. make a scaled-down k-means behave
+    /// "compute-bound" like the 120 GB original) without gigabytes of data.
+    /// Zero disables it.
+    pub synthetic_compute_ns_per_unit: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            pool: PoolConfig::default(),
+            master_low_water: 2,
+            retrieval_threads: 4,
+            retrieval_retries: 2,
+            retrieval_backoff: std::time::Duration::from_millis(5),
+            cache_group_units: 4096,
+            synthetic_compute_ns_per_unit: 0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Validate the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pool.local_batch == 0 {
+            return Err("pool.local_batch must be >= 1".into());
+        }
+        if self.pool.remote_batch == 0 {
+            return Err("pool.remote_batch must be >= 1".into());
+        }
+        if self.retrieval_threads == 0 {
+            return Err("retrieval_threads must be >= 1".into());
+        }
+        if self.cache_group_units == 0 {
+            return Err("cache_group_units must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(RuntimeConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_knobs_rejected() {
+        let c = RuntimeConfig {
+            retrieval_threads: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RuntimeConfig {
+            cache_group_units: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+
+        for (local, remote) in [(0, 1), (1, 0)] {
+            let mut c = RuntimeConfig::default();
+            c.pool.local_batch = local;
+            c.pool.remote_batch = remote;
+            assert!(c.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Deployment description: clusters, sites, and the data fabric.
+//!
+//! A [`Deployment`] lists the compute clusters (name, site, cores, optional
+//! WAN throttle for reduction-object shipping) and a [`DataFabric`]: for
+//! every (accessing site, data site) pair, the [`ObjectStore`] through which
+//! that access flows. The fabric is what makes "the local cluster stealing a
+//! job stored in S3" read through a slow, latency-laden path while the cloud
+//! cluster reads the same object fast — both views are decorators over the
+//! same backing store.
+
+use cb_simnet::Throttle;
+use cb_storage::layout::LocationId;
+use cb_storage::store::ObjectStore;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One compute cluster.
+#[derive(Clone)]
+pub struct ClusterSpec {
+    /// Display name ("local", "EC2").
+    pub name: String,
+    /// The site this cluster is at (determines which data is "local").
+    pub location: LocationId,
+    /// Number of worker (slave) cores.
+    pub cores: usize,
+    /// Throttle through which this cluster's reduction object travels to
+    /// the head during global reduction. `None` = colocated with the head.
+    pub wan_to_head: Option<Arc<Throttle>>,
+    /// Per-unit synthetic compute weight override for this cluster, in
+    /// nanoseconds (models slower/faster cores). `None` uses the run
+    /// config's global value.
+    pub compute_ns_per_unit: Option<u64>,
+    /// Round-trip latency of a master↔head job-request exchange (zero for
+    /// a master colocated with the head; tens of milliseconds across the
+    /// WAN). Paid on every refill from the head.
+    pub head_rtt: std::time::Duration,
+}
+
+impl ClusterSpec {
+    pub fn new(name: impl Into<String>, location: LocationId, cores: usize) -> Self {
+        ClusterSpec {
+            name: name.into(),
+            location,
+            cores,
+            wan_to_head: None,
+            compute_ns_per_unit: None,
+            head_rtt: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Attach a WAN throttle for global-reduction transfers.
+    pub fn with_wan(mut self, wan: Arc<Throttle>) -> Self {
+        self.wan_to_head = Some(wan);
+        self
+    }
+
+    /// Override this cluster's per-unit compute weight.
+    pub fn with_compute_ns(mut self, ns: u64) -> Self {
+        self.compute_ns_per_unit = Some(ns);
+        self
+    }
+
+    /// Set the master↔head request round-trip latency.
+    pub fn with_head_rtt(mut self, rtt: std::time::Duration) -> Self {
+        self.head_rtt = rtt;
+        self
+    }
+}
+
+/// The (accessor site, data site) → store routing table.
+#[derive(Clone, Default)]
+pub struct DataFabric {
+    paths: BTreeMap<(LocationId, LocationId), Arc<dyn ObjectStore>>,
+}
+
+impl DataFabric {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Route all accesses from `from` to data homed at `to` through `store`.
+    pub fn set_path(
+        &mut self,
+        from: LocationId,
+        to: LocationId,
+        store: Arc<dyn ObjectStore>,
+    ) -> &mut Self {
+        self.paths.insert((from, to), store);
+        self
+    }
+
+    /// Convenience: every site sees every store directly (no throttling);
+    /// `stores[loc]` is the store at site `loc`.
+    pub fn direct(stores: &BTreeMap<LocationId, Arc<dyn ObjectStore>>) -> Self {
+        let mut f = DataFabric::new();
+        for &from in stores.keys() {
+            for (&to, store) in stores {
+                f.set_path(from, to, Arc::clone(store));
+            }
+        }
+        f
+    }
+
+    /// The store through which site `from` reads data homed at `to`.
+    pub fn store_for(&self, from: LocationId, to: LocationId) -> Option<&Arc<dyn ObjectStore>> {
+        self.paths.get(&(from, to))
+    }
+
+    /// All configured paths (diagnostics).
+    pub fn paths(&self) -> impl Iterator<Item = (LocationId, LocationId, &str)> {
+        self.paths
+            .iter()
+            .map(|(&(f, t), s)| (f, t, s.name()))
+    }
+}
+
+/// A full deployment: clusters plus the data fabric.
+#[derive(Clone)]
+pub struct Deployment {
+    pub clusters: Vec<ClusterSpec>,
+    pub fabric: DataFabric,
+}
+
+impl Deployment {
+    pub fn new(clusters: Vec<ClusterSpec>, fabric: DataFabric) -> Self {
+        Deployment { clusters, fabric }
+    }
+
+    /// Total worker cores across clusters.
+    pub fn total_cores(&self) -> usize {
+        self.clusters.iter().map(|c| c.cores).sum()
+    }
+
+    /// Check structural validity: at least one cluster, nonzero cores, and
+    /// a fabric path from every cluster site to every data site in `data_sites`.
+    pub fn validate(&self, data_sites: &[LocationId]) -> Result<(), String> {
+        if self.clusters.is_empty() {
+            return Err("deployment has no clusters".into());
+        }
+        for c in &self.clusters {
+            if c.cores == 0 {
+                return Err(format!("cluster {} has zero cores", c.name));
+            }
+            for &site in data_sites {
+                if self.fabric.store_for(c.location, site).is_none() {
+                    return Err(format!(
+                        "no fabric path from cluster {} ({}) to data site {site}",
+                        c.name, c.location
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_storage::store::MemStore;
+
+    fn loc(i: u16) -> LocationId {
+        LocationId(i)
+    }
+
+    #[test]
+    fn direct_fabric_routes_everything() {
+        let mut stores: BTreeMap<LocationId, Arc<dyn ObjectStore>> = BTreeMap::new();
+        stores.insert(loc(0), Arc::new(MemStore::new("a")));
+        stores.insert(loc(1), Arc::new(MemStore::new("b")));
+        let f = DataFabric::direct(&stores);
+        assert_eq!(f.store_for(loc(0), loc(1)).unwrap().name(), "b");
+        assert_eq!(f.store_for(loc(1), loc(0)).unwrap().name(), "a");
+        assert_eq!(f.paths().count(), 4);
+    }
+
+    #[test]
+    fn asymmetric_paths() {
+        let mut f = DataFabric::new();
+        f.set_path(loc(0), loc(1), Arc::new(MemStore::new("slow-view")));
+        f.set_path(loc(1), loc(1), Arc::new(MemStore::new("fast-view")));
+        assert_eq!(f.store_for(loc(0), loc(1)).unwrap().name(), "slow-view");
+        assert_eq!(f.store_for(loc(1), loc(1)).unwrap().name(), "fast-view");
+        assert!(f.store_for(loc(0), loc(0)).is_none());
+    }
+
+    #[test]
+    fn deployment_validation() {
+        let mut stores: BTreeMap<LocationId, Arc<dyn ObjectStore>> = BTreeMap::new();
+        stores.insert(loc(0), Arc::new(MemStore::new("a")));
+        let fabric = DataFabric::direct(&stores);
+
+        let d = Deployment::new(vec![], fabric.clone());
+        assert!(d.validate(&[loc(0)]).is_err(), "no clusters");
+
+        let d = Deployment::new(vec![ClusterSpec::new("c", loc(0), 0)], fabric.clone());
+        assert!(d.validate(&[loc(0)]).is_err(), "zero cores");
+
+        let d = Deployment::new(vec![ClusterSpec::new("c", loc(0), 2)], fabric.clone());
+        assert_eq!(d.validate(&[loc(0)]), Ok(()));
+        assert!(d.validate(&[loc(1)]).is_err(), "missing path to site 1");
+        assert_eq!(d.total_cores(), 2);
+    }
+
+    #[test]
+    fn cluster_spec_builders() {
+        let wan = Arc::new(Throttle::unlimited());
+        let c = ClusterSpec::new("EC2", loc(1), 8)
+            .with_wan(wan)
+            .with_compute_ns(50);
+        assert!(c.wan_to_head.is_some());
+        assert_eq!(c.compute_ns_per_unit, Some(50));
+        assert_eq!(c.cores, 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! Run reports: the measurement schema shared by the real runtime and the
+//! discrete-event simulator.
+//!
+//! Mirrors the paper's presentation: per-cluster *processing*, *data
+//! retrieval*, and *sync* time (the stacked bars of Figs. 3–4), plus the
+//! Table I job counters and the Table II global-reduction / idle / slowdown
+//! decomposition.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-cluster execution breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ClusterBreakdown {
+    /// Cluster name ("local", "EC2", ...).
+    pub name: String,
+    /// Worker cores in this cluster.
+    pub cores: usize,
+    /// Mean per-core time spent in local reduction (decode + fold).
+    pub processing_s: f64,
+    /// Mean per-core time spent retrieving chunk data.
+    pub retrieval_s: f64,
+    /// Mean per-core time spent waiting: job waits, stragglers, end-of-run
+    /// barrier — `wall - processing - retrieval`.
+    pub sync_s: f64,
+    /// Wall time from run start to this cluster finishing its last job
+    /// (including handing its reduction object to the head).
+    pub wall_s: f64,
+    /// Time this cluster sat idle at the end waiting for the other
+    /// cluster(s) to finish (Table II "Idle Time").
+    pub idle_end_s: f64,
+    /// Jobs this cluster processed in total (Table I).
+    pub jobs_processed: u64,
+    /// Of those, jobs whose data was homed at another site (Table I
+    /// "stolen").
+    pub jobs_stolen: u64,
+    /// Bytes read from this cluster's own site.
+    pub bytes_local: u64,
+    /// Bytes retrieved from remote sites.
+    pub bytes_remote: u64,
+}
+
+/// A full run: per-cluster breakdowns plus global phases.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RunReport {
+    /// End-to-end wall time.
+    pub total_s: f64,
+    /// Time spent combining the per-cluster reduction objects at the head,
+    /// including their inter-cluster transfer (Table II "Global Reduction").
+    pub global_reduction_s: f64,
+    /// Final reduction-object size in bytes (drives the transfer cost the
+    /// paper highlights for pagerank).
+    pub robj_bytes: u64,
+    /// One entry per cluster.
+    pub clusters: Vec<ClusterBreakdown>,
+}
+
+impl RunReport {
+    /// Total jobs processed across clusters.
+    pub fn total_jobs(&self) -> u64 {
+        self.clusters.iter().map(|c| c.jobs_processed).sum()
+    }
+
+    /// Total stolen jobs across clusters.
+    pub fn total_stolen(&self) -> u64 {
+        self.clusters.iter().map(|c| c.jobs_stolen).sum()
+    }
+
+    /// The paper's "Total Slowdown" (Table II): this run's execution time
+    /// minus the baseline's, in seconds.
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        self.total_s - baseline.total_s
+    }
+
+    /// Slowdown as a fraction of the baseline ("the average slowdown of our
+    /// system ... is only 15.55%").
+    pub fn slowdown_ratio_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.total_s == 0.0 {
+            return 0.0;
+        }
+        (self.total_s - baseline.total_s) / baseline.total_s
+    }
+
+    /// Find a cluster by name.
+    pub fn cluster(&self, name: &str) -> Option<&ClusterBreakdown> {
+        self.clusters.iter().find(|c| c.name == name)
+    }
+
+    /// Render as an aligned text table (one row per cluster) — the format
+    /// the `repro` harness prints for each figure.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>12} {:>12} {:>10} {:>10} {:>8} {:>8}",
+            "cluster", "cores", "processing", "retrieval", "sync", "wall", "jobs", "stolen"
+        );
+        for c in &self.clusters {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>5} {:>11.2}s {:>11.2}s {:>9.2}s {:>9.2}s {:>8} {:>8}",
+                c.name,
+                c.cores,
+                c.processing_s,
+                c.retrieval_s,
+                c.sync_s,
+                c.wall_s,
+                c.jobs_processed,
+                c.jobs_stolen
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total {:.2}s   global-reduction {:.3}s   robj {} bytes",
+            self.total_s, self.global_reduction_s, self.robj_bytes
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            total_s: 100.0,
+            global_reduction_s: 0.5,
+            robj_bytes: 1024,
+            clusters: vec![
+                ClusterBreakdown {
+                    name: "local".into(),
+                    cores: 16,
+                    processing_s: 60.0,
+                    retrieval_s: 30.0,
+                    sync_s: 10.0,
+                    wall_s: 100.0,
+                    idle_end_s: 0.0,
+                    jobs_processed: 480,
+                    jobs_stolen: 0,
+                    bytes_local: 1 << 30,
+                    bytes_remote: 0,
+                },
+                ClusterBreakdown {
+                    name: "EC2".into(),
+                    cores: 16,
+                    processing_s: 55.0,
+                    retrieval_s: 25.0,
+                    sync_s: 15.0,
+                    wall_s: 95.0,
+                    idle_end_s: 5.0,
+                    jobs_processed: 480,
+                    jobs_stolen: 64,
+                    bytes_local: 1 << 29,
+                    bytes_remote: 1 << 28,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let r = sample();
+        assert_eq!(r.total_jobs(), 960);
+        assert_eq!(r.total_stolen(), 64);
+        assert_eq!(r.cluster("EC2").unwrap().cores, 16);
+        assert!(r.cluster("nope").is_none());
+    }
+
+    #[test]
+    fn slowdowns() {
+        let base = RunReport {
+            total_s: 80.0,
+            ..sample()
+        };
+        let r = sample();
+        assert!((r.slowdown_vs(&base) - 20.0).abs() < 1e-12);
+        assert!((r.slowdown_ratio_vs(&base) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let text = sample().render();
+        assert!(text.contains("local"));
+        assert!(text.contains("EC2"));
+        assert!(text.contains("global-reduction"));
+    }
+}

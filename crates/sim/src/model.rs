@@ -1,0 +1,668 @@
+//! The discrete-event model of the cloud-bursting runtime.
+//!
+//! Drives the *same* scheduling state machines as the real runtime
+//! ([`JobPool`], [`MasterPool`]) in virtual time, with transfers as flows on
+//! fair-shared links and compute as parameterized per-unit costs. One run of
+//! the paper's largest configuration (120 GB, 960 jobs, 64 cores) is a few
+//! thousand events — milliseconds of wall time — which is what lets the
+//! benchmark harness sweep every figure of the evaluation.
+//!
+//! Event flow per job: master dispatch → `FetchBegin` (after request
+//! latency) → flow on the path's bottleneck link → `LinkWake` →
+//! `ProcessDone` → completion reported, next request. Cluster end: all
+//! slaves denied → local combination → `RobjSend` → WAN flow → `RobjArrive`
+//! at head → final merge → `FinalDone`.
+
+use crate::params::SimParams;
+use crate::trace::{SpanKind, Trace};
+use cb_simnet::engine::{Ctx, Engine, World};
+use cb_simnet::link::FairShareLink;
+use cb_simnet::rng::DetRng;
+use cb_simnet::time::{SimDur, SimTime};
+use cb_storage::layout::ChunkId;
+use cloudburst_core::report::{ClusterBreakdown, RunReport};
+use cloudburst_core::sched::master::MasterPool;
+use cloudburst_core::sched::pool::JobPool;
+use std::collections::VecDeque;
+
+/// Events of the simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Kick off: every slave asks for work, at `t = 0`.
+    Boot,
+    /// A head grant reaches cluster `c`'s master.
+    GrantArrive { c: usize },
+    /// Slave `s` of cluster `c` starts fetching `job` (request latency paid).
+    FetchBegin {
+        c: usize,
+        s: usize,
+        job: ChunkId,
+        stolen: bool,
+        /// Whether this fetch continues the cluster's sequential scan.
+        seq: bool,
+    },
+    /// A link may have completed flows.
+    LinkWake { link: usize, gen: u64 },
+    /// Slave finished the compute of `job`.
+    ProcessDone { c: usize, s: usize, job: ChunkId },
+    /// Cluster `c` finished local combination; ship the reduction object.
+    RobjSend { c: usize },
+    /// The whole run is complete.
+    FinalDone,
+}
+
+/// What a completed flow means.
+#[derive(Debug, Clone, Copy)]
+enum FlowTarget {
+    ChunkFetched {
+        c: usize,
+        s: usize,
+        job: ChunkId,
+        stolen: bool,
+        started: SimTime,
+    },
+    RobjDelivered {
+        c: usize,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct SlaveState {
+    busy_fetch: SimDur,
+    busy_proc: SimDur,
+    jobs: u64,
+    stolen_jobs: u64,
+    bytes_local: u64,
+    bytes_remote: u64,
+    finish: Option<SimTime>,
+}
+
+struct ClusterState {
+    mp: MasterPool,
+    waiting: VecDeque<usize>,
+    /// Chunk id that would continue this cluster's sequential scan.
+    expected_next: Option<u32>,
+    slaves: Vec<SlaveState>,
+    rngs: Vec<DetRng>,
+    finished_slaves: usize,
+    local_done: Option<SimTime>,
+    robj_sent_at: Option<SimTime>,
+    robj_arrived: bool,
+}
+
+struct SimWorld {
+    params: SimParams,
+    pool: JobPool,
+    links: Vec<FairShareLink>,
+    /// Pending flow targets, keyed by (link, flow tag).
+    flow_targets: Vec<std::collections::BTreeMap<u64, FlowTarget>>,
+    next_tag: u64,
+    clusters: Vec<ClusterState>,
+    /// In-flight chunk fetches per file (contention gauge).
+    active_per_file: Vec<usize>,
+    arrived_robjs: usize,
+    final_done: Option<SimTime>,
+    last_local_done: SimTime,
+    /// Activity spans, when tracing is enabled.
+    trace: Option<Trace>,
+}
+
+impl SimWorld {
+    fn new(params: SimParams, with_trace: bool) -> Self {
+        let pool = JobPool::new(&params.layout, &params.placement, params.pool.clone());
+        let links = params
+            .links
+            .iter()
+            .map(|l| FairShareLink::with_capacity(l.bps))
+            .collect::<Vec<_>>();
+        let flow_targets = params.links.iter().map(|_| Default::default()).collect();
+        let root = DetRng::new(params.seed);
+        let clusters = params
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| ClusterState {
+                mp: MasterPool::new(params.master_low_water),
+                waiting: VecDeque::new(),
+                expected_next: None,
+                slaves: vec![SlaveState::default(); c.cores],
+                rngs: (0..c.cores)
+                    .map(|si| root.fork((ci as u64) << 32 | si as u64))
+                    .collect(),
+                finished_slaves: 0,
+                local_done: None,
+                robj_sent_at: None,
+                robj_arrived: false,
+            })
+            .collect();
+        let active_per_file = vec![0; params.layout.files.len()];
+        SimWorld {
+            params,
+            pool,
+            links,
+            flow_targets,
+            next_tag: 0,
+            clusters,
+            active_per_file,
+            arrived_robjs: 0,
+            final_done: None,
+            last_local_done: SimTime::ZERO,
+            trace: with_trace.then(Trace::default),
+        }
+    }
+
+    /// (Re-)arm the wakeup for `link`'s next completion.
+    fn arm_link(&mut self, ctx: &mut Ctx<'_, Ev>, link: usize) {
+        if let Some(t) = self.links[link].next_completion() {
+            let gen = self.links[link].generation();
+            ctx.schedule_at(t.max(ctx.now()), Ev::LinkWake { link, gen });
+        }
+    }
+
+    /// Start a flow and remember what it completes.
+    fn start_flow(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        link: usize,
+        bytes: u64,
+        cap: f64,
+        target: FlowTarget,
+    ) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.links[link].start_flow_capped(ctx.now(), bytes, cap, tag);
+        self.flow_targets[link].insert(tag, target);
+        self.arm_link(ctx, link);
+    }
+
+    /// A slave asks its master for work (after optionally reporting a
+    /// completed job). Mirrors `master_loop` + `slave_loop` of the runtime.
+    fn slave_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        c: usize,
+        s: usize,
+        completed: Option<ChunkId>,
+    ) {
+        let loc = self.params.clusters[c].location;
+        if let Some(job) = completed {
+            self.pool.complete(loc, job);
+        }
+        self.clusters[c].waiting.push_back(s);
+        self.dispatch(ctx, c);
+    }
+
+    /// Hand queued jobs to waiting slaves; refill / finish as appropriate.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        let loc = self.params.clusters[c].location;
+        let rtt = self.params.clusters[c].rtt_to_head;
+
+        loop {
+            // Serve waiting slaves from the master queue.
+            while !self.clusters[c].waiting.is_empty() {
+                let Some(job) = self.clusters[c].mp.take() else {
+                    break;
+                };
+                let s = self.clusters[c].waiting.pop_front().expect("non-empty");
+                let home = self.params.placement.home(self.params.layout.chunk(job.chunk).file);
+                let path = self.params.path(loc, home);
+                let seq = self.clusters[c].expected_next == Some(job.chunk.0);
+                self.clusters[c].expected_next = Some(job.chunk.0 + 1);
+                let latency = if seq {
+                    path.latency
+                } else {
+                    path.latency * self.params.nonseq_latency_mult
+                };
+                ctx.schedule_after(
+                    latency,
+                    Ev::FetchBegin {
+                        c,
+                        s,
+                        job: job.chunk,
+                        stolen: job.stolen,
+                        seq,
+                    },
+                );
+            }
+            // Refill when low (and someone is or will be waiting).
+            if self.clusters[c].mp.should_request() {
+                self.clusters[c].mp.mark_requested();
+                if rtt.is_zero() {
+                    // Colocated master: decide immediately.
+                    let grant = self.pool.request(loc);
+                    self.clusters[c].mp.on_grant(grant.jobs, grant.stolen);
+                    continue; // loop to serve newly arrived jobs
+                } else {
+                    ctx.schedule_after(rtt, Ev::GrantArrive { c });
+                }
+            }
+            break;
+        }
+
+        // Anyone still waiting with a finished pool is done for good.
+        if self.clusters[c].mp.finished() {
+            while let Some(s) = self.clusters[c].waiting.pop_front() {
+                let st = &mut self.clusters[c].slaves[s];
+                if st.finish.is_none() {
+                    st.finish = Some(ctx.now());
+                    self.clusters[c].finished_slaves += 1;
+                }
+            }
+            if self.clusters[c].finished_slaves == self.clusters[c].slaves.len()
+                && self.clusters[c].local_done.is_none()
+            {
+                // Local combination: (cores-1) pairwise merges of the robj.
+                let merges = (self.clusters[c].slaves.len() as f64 - 1.0).max(0.0);
+                let combine = SimDur::from_secs_f64(
+                    merges * self.params.robj_bytes as f64 / self.params.merge_bps,
+                );
+                self.clusters[c].local_done = Some(ctx.now() + combine);
+                ctx.schedule_after(combine, Ev::RobjSend { c });
+            }
+        }
+    }
+
+    fn handle_robj_arrive(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        assert!(!self.clusters[c].robj_arrived, "robj delivered twice");
+        if let (Some(tr), Some(sent)) = (self.trace.as_mut(), self.clusters[c].robj_sent_at) {
+            tr.record(c, 0, SpanKind::RobjTransfer, sent, ctx.now());
+        }
+        self.clusters[c].robj_arrived = true;
+        self.arrived_robjs += 1;
+        if self.arrived_robjs == self.clusters.len() {
+            // Final global reduction at the head.
+            let merges = (self.clusters.len() as f64 - 1.0).max(0.0);
+            let cost = self.params.global_reduction_base
+                + SimDur::from_secs_f64(merges * self.params.robj_bytes as f64 / self.params.merge_bps);
+            ctx.schedule_after(cost, Ev::FinalDone);
+        }
+    }
+}
+
+impl World for SimWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Boot => {
+                for c in 0..self.clusters.len() {
+                    for s in 0..self.clusters[c].slaves.len() {
+                        self.slave_request(ctx, c, s, None);
+                    }
+                }
+            }
+            Ev::GrantArrive { c } => {
+                let loc = self.params.clusters[c].location;
+                let grant = self.pool.request(loc);
+                self.clusters[c].mp.on_grant(grant.jobs, grant.stolen);
+                self.dispatch(ctx, c);
+            }
+            Ev::FetchBegin { c, s, job, stolen, seq } => {
+                let loc = self.params.clusters[c].location;
+                let chunk = *self.params.layout.chunk(job);
+                let home = self.params.placement.home(chunk.file);
+                let path = self.params.path(loc, home);
+                let mut cap = path.per_conn_bps * path.streams as f64;
+                let latency = if seq {
+                    path.latency
+                } else {
+                    // A broken sequential scan loses readahead and pays
+                    // request setup again.
+                    cap *= self.params.nonseq_bw_factor;
+                    path.latency * self.params.nonseq_latency_mult
+                };
+                // Another reader already on this file contends for it.
+                if self.active_per_file[chunk.file.0 as usize] > 0 {
+                    cap *= self.params.file_contention_bw_factor;
+                }
+                self.active_per_file[chunk.file.0 as usize] += 1;
+                // The fetch began (latency already paid) when the event was
+                // scheduled; count latency into busy-fetch via `started`.
+                let started = ctx.now() - latency;
+                self.start_flow(
+                    ctx,
+                    path.link,
+                    chunk.len,
+                    cap,
+                    FlowTarget::ChunkFetched {
+                        c,
+                        s,
+                        job,
+                        stolen,
+                        started,
+                    },
+                );
+            }
+            Ev::LinkWake { link, gen } => {
+                if self.links[link].generation() != gen {
+                    return; // stale wakeup; a newer one is scheduled
+                }
+                let done = self.links[link].poll_completed(ctx.now());
+                for completion in done {
+                    let target = self.flow_targets[link]
+                        .remove(&completion.tag)
+                        .expect("completed flow had no target");
+                    match target {
+                        FlowTarget::ChunkFetched {
+                            c,
+                            s,
+                            job,
+                            stolen,
+                            started,
+                        } => {
+                            let chunk = *self.params.layout.chunk(job);
+                            self.active_per_file[chunk.file.0 as usize] -= 1;
+                            let st = &mut self.clusters[c].slaves[s];
+                            st.busy_fetch += ctx.now() - started;
+                            if stolen {
+                                st.bytes_remote += chunk.len;
+                            } else {
+                                st.bytes_local += chunk.len;
+                            }
+                            let jitter = {
+                                let cv = self.params.clusters[c].jitter_cv;
+                                self.clusters[c].rngs[s].jitter(cv)
+                            };
+                            let proc =
+                                self.params.clusters[c].proc_time(s, chunk.units, jitter);
+                            self.clusters[c].slaves[s].busy_proc += proc;
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.record(c, s, SpanKind::Fetch, started, ctx.now());
+                                tr.record(c, s, SpanKind::Process, ctx.now(), ctx.now() + proc);
+                            }
+                            ctx.schedule_after(proc, Ev::ProcessDone { c, s, job });
+                        }
+                        FlowTarget::RobjDelivered { c } => {
+                            self.handle_robj_arrive(ctx, c);
+                        }
+                    }
+                }
+                self.arm_link(ctx, link);
+            }
+            Ev::ProcessDone { c, s, job } => {
+                {
+                    let st = &mut self.clusters[c].slaves[s];
+                    st.jobs += 1;
+                    let chunk = self.params.layout.chunk(job);
+                    let home = self.params.placement.home(chunk.file);
+                    if home != self.params.clusters[c].location {
+                        st.stolen_jobs += 1;
+                    }
+                }
+                self.slave_request(ctx, c, s, Some(job));
+            }
+            Ev::RobjSend { c } => {
+                self.last_local_done = self.last_local_done.max(ctx.now());
+                self.clusters[c].robj_sent_at = Some(ctx.now());
+                match self.params.clusters[c].robj_link {
+                    Some(link) => {
+                        let cap = self.params.clusters[c].robj_conn_bps;
+                        let bytes = self.params.robj_bytes;
+                        self.start_flow(ctx, link, bytes, cap, FlowTarget::RobjDelivered { c });
+                    }
+                    None => self.handle_robj_arrive(ctx, c),
+                }
+            }
+            Ev::FinalDone => {
+                self.final_done = Some(ctx.now());
+            }
+        }
+    }
+}
+
+/// Run the simulation to completion and produce the same report schema as
+/// the real runtime.
+pub fn simulate(params: SimParams) -> Result<RunReport, String> {
+    simulate_inner(params, false).map(|(r, _)| r)
+}
+
+/// Like [`simulate`], but also record an activity [`Trace`] (per-slave
+/// fetch/process/robj spans) for timeline rendering and utilization checks.
+pub fn simulate_traced(params: SimParams) -> Result<(RunReport, Trace), String> {
+    simulate_inner(params, true).map(|(r, t)| (r, t.expect("tracing was enabled")))
+}
+
+fn simulate_inner(
+    params: SimParams,
+    with_trace: bool,
+) -> Result<(RunReport, Option<Trace>), String> {
+    params.validate()?;
+    let mut engine = Engine::new(SimWorld::new(params, with_trace));
+    engine.schedule(SimTime::ZERO, Ev::Boot);
+    // 960 jobs × ~5 events plus link wakeups: 10M is a generous livelock
+    // guard, not a tuning knob.
+    if !engine.run_bounded(10_000_000) {
+        return Err("simulation exceeded event budget (livelock?)".into());
+    }
+    let end = engine.now();
+    let world = engine.into_world();
+    let total = world
+        .final_done
+        .unwrap_or(end)
+        .saturating_since(SimTime::ZERO);
+    let last_local = world.last_local_done;
+
+    // Pool-level sanity: every job granted was completed.
+    assert!(
+        world.pool.all_done() || !world.params.pool.allow_stealing,
+        "simulation ended with unfinished jobs"
+    );
+
+    let mut clusters = Vec::with_capacity(world.clusters.len());
+    for (ci, c) in world.clusters.iter().enumerate() {
+        let spec = &world.params.clusters[ci];
+        let n = c.slaves.len().max(1) as f64;
+        let proc_s: f64 = c.slaves.iter().map(|s| s.busy_proc.as_secs_f64()).sum::<f64>() / n;
+        let fetch_s: f64 = c.slaves.iter().map(|s| s.busy_fetch.as_secs_f64()).sum::<f64>() / n;
+        let local_done = c.local_done.unwrap_or(world.final_done.unwrap_or(end));
+        let wall_s = local_done.as_secs_f64();
+        clusters.push(ClusterBreakdown {
+            name: spec.name.clone(),
+            cores: spec.cores,
+            processing_s: proc_s,
+            retrieval_s: fetch_s,
+            sync_s: (wall_s - proc_s - fetch_s).max(0.0),
+            wall_s,
+            idle_end_s: last_local.saturating_since(local_done).as_secs_f64(),
+            jobs_processed: c.slaves.iter().map(|s| s.jobs).sum(),
+            jobs_stolen: c.slaves.iter().map(|s| s.stolen_jobs).sum(),
+            bytes_local: c.slaves.iter().map(|s| s.bytes_local).sum(),
+            bytes_remote: c.slaves.iter().map(|s| s.bytes_remote).sum(),
+        });
+    }
+    let report = RunReport {
+        total_s: total.as_secs_f64(),
+        global_reduction_s: world
+            .final_done
+            .unwrap_or(end)
+            .saturating_since(last_local)
+            .as_secs_f64(),
+        robj_bytes: world.params.robj_bytes,
+        clusters,
+    };
+    Ok((report, world.trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{LinkSpec, PathSpec, SimCluster};
+    use cb_storage::layout::{LocationId, Placement};
+    use cb_storage::organizer::organize_even;
+    use cloudburst_core::sched::pool::PoolConfig;
+    use std::collections::BTreeMap;
+
+    const L: LocationId = LocationId(0);
+    const C: LocationId = LocationId(1);
+
+    /// Two clusters, one link per path class, tiny dataset.
+    fn params(frac_local: f64) -> SimParams {
+        // 8 files × 4 chunks of 256 KiB.
+        let layout = organize_even(8, 1 << 20, 1 << 18, 64).unwrap();
+        let placement = Placement::split_fraction(8, frac_local, L, C);
+        let links = vec![
+            LinkSpec { name: "disk".into(), bps: 100.0e6 },
+            LinkSpec { name: "s3".into(), bps: 100.0e6 },
+            LinkSpec { name: "wan".into(), bps: 20.0e6 },
+        ];
+        let mut paths = BTreeMap::new();
+        paths.insert((L, L), PathSpec { link: 0, latency: SimDur::from_micros(200), per_conn_bps: 50.0e6, streams: 1 });
+        paths.insert((C, C), PathSpec { link: 1, latency: SimDur::from_millis(5), per_conn_bps: 10.0e6, streams: 4 });
+        paths.insert((L, C), PathSpec { link: 2, latency: SimDur::from_millis(40), per_conn_bps: 3.0e6, streams: 4 });
+        paths.insert((C, L), PathSpec { link: 2, latency: SimDur::from_millis(40), per_conn_bps: 3.0e6, streams: 4 });
+        SimParams {
+            layout,
+            placement,
+            clusters: vec![
+                SimCluster::new("local", L, 4, 100.0),
+                SimCluster::new("EC2", C, 4, 120.0)
+                    .with_rtt(SimDur::from_millis(8))
+                    .with_robj_path(2, 5.0e6),
+            ],
+            links,
+            paths,
+            pool: PoolConfig::default(),
+            master_low_water: 2,
+            robj_bytes: 64 * 1024,
+            merge_bps: 1.0e9,
+            global_reduction_base: SimDur::from_millis(50),
+            nonseq_latency_mult: 1.0,
+            nonseq_bw_factor: 1.0,
+            file_contention_bw_factor: 1.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_jobs_processed_exactly_once() {
+        let p = params(0.5);
+        let n_jobs = p.layout.n_jobs() as u64;
+        let r = simulate(p).unwrap();
+        assert_eq!(r.total_jobs(), n_jobs);
+        assert!(r.total_s > 0.0);
+        assert!(r.global_reduction_s > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = simulate(params(0.33)).unwrap();
+        let b = simulate(params(0.33)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_only_jitter() {
+        let mut p = params(0.5);
+        p.clusters[0].jitter_cv = 0.2;
+        p.clusters[1].jitter_cv = 0.2;
+        let a = simulate(p.clone()).unwrap();
+        p.seed = 99;
+        let b = simulate(p).unwrap();
+        assert_eq!(a.total_jobs(), b.total_jobs());
+        assert_ne!(a.total_s, b.total_s, "jitter must respond to the seed");
+    }
+
+    #[test]
+    fn balanced_split_steals_nothing() {
+        let r = simulate(params(0.5)).unwrap();
+        // 50/50 data, comparable compute: neither side should steal much.
+        assert!(
+            r.total_stolen() <= 8,
+            "50/50 split should steal little, got {}",
+            r.total_stolen()
+        );
+    }
+
+    #[test]
+    fn skew_forces_stealing_toward_data() {
+        let r = simulate(params(0.125)).unwrap(); // 1 of 8 files local
+        let local = r.cluster("local").unwrap();
+        assert!(
+            local.jobs_stolen > 0,
+            "local cluster must steal when starved of data"
+        );
+        assert!(local.bytes_remote > 0);
+    }
+
+    #[test]
+    fn stealing_disabled_still_terminates() {
+        let mut p = params(0.25);
+        p.pool.allow_stealing = false;
+        let n_jobs = p.layout.n_jobs() as u64;
+        let r = simulate(p).unwrap();
+        assert_eq!(r.total_jobs(), n_jobs, "home clusters finish their own jobs");
+        assert_eq!(r.total_stolen(), 0);
+    }
+
+    #[test]
+    fn breakdown_adds_up() {
+        let r = simulate(params(0.33)).unwrap();
+        for c in &r.clusters {
+            let sum = c.processing_s + c.retrieval_s + c.sync_s;
+            assert!((sum - c.wall_s).abs() < 1e-6, "{}: {} != {}", c.name, sum, c.wall_s);
+            assert!(c.wall_s <= r.total_s + 1e-9);
+        }
+        // Total bytes moved equal the dataset.
+        let moved: u64 = r.clusters.iter().map(|c| c.bytes_local + c.bytes_remote).sum();
+        assert_eq!(moved, 8 * (1 << 20));
+    }
+
+    #[test]
+    fn straggler_inflates_sync_of_peers() {
+        let base = simulate(params(0.5)).unwrap();
+        let mut p = params(0.5);
+        p.clusters[0] = std::mem::replace(
+            &mut p.clusters[0],
+            SimCluster::new("x", L, 1, 0.0),
+        )
+        .with_straggler(0, 50.0);
+        let slowed = simulate(p).unwrap();
+        assert!(
+            slowed.total_s > base.total_s,
+            "a 50x straggler must hurt: {} vs {}",
+            slowed.total_s,
+            base.total_s
+        );
+        // But pooling limits the damage: the straggler only drags its own
+        // in-flight job, not a static partition. With 32 jobs and 8 cores a
+        // static split would give the straggler 4 jobs (~50x slowdown on
+        // 1/8 of the work); dynamic pooling should stay well under that.
+        let static_estimate = base.total_s * 50.0 / 8.0;
+        assert!(
+            slowed.total_s < static_estimate,
+            "pool balancing failed: {} vs static {}",
+            slowed.total_s,
+            static_estimate
+        );
+    }
+
+    #[test]
+    fn bigger_robj_slows_global_reduction() {
+        let small = simulate(params(0.5)).unwrap();
+        let mut p = params(0.5);
+        p.robj_bytes = 64 * 1024 * 1024; // 64 MiB over a 5 MB/s robj link
+        let big = simulate(p).unwrap();
+        assert!(
+            big.global_reduction_s > small.global_reduction_s + 5.0,
+            "64 MiB robj should add >5s: {} vs {}",
+            big.global_reduction_s,
+            small.global_reduction_s
+        );
+    }
+
+    #[test]
+    fn more_cores_scale_compute_bound_runs() {
+        let mut p = params(0.0); // all data in the cloud, like Fig. 4
+        p.clusters[0].ns_per_unit = 50_000.0;
+        p.clusters[1].ns_per_unit = 50_000.0;
+        let small = simulate(p.clone()).unwrap();
+        p.clusters[0].cores = 8;
+        p.clusters[1].cores = 8;
+        let big = simulate(p).unwrap();
+        let speedup = small.total_s / big.total_s;
+        assert!(
+            speedup > 1.5,
+            "doubling cores should speed up compute-bound run: {speedup}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Execution traces: per-slave activity spans recorded by the simulator.
+//!
+//! A [`Trace`] is the microscope behind the aggregate [`RunReport`]: every
+//! fetch, every compute burst, and every reduction-object transfer as a
+//! `(start, end)` interval. It renders as a textual Gantt chart (one row
+//! per slave) and computes per-slave utilization — which is how the
+//! load-balancing claims of the paper can be *seen*, not just asserted.
+//!
+//! [`RunReport`]: cloudburst_core::report::RunReport
+
+use cb_simnet::time::SimTime;
+use std::fmt::Write as _;
+
+/// What a slave was doing during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Retrieving a chunk (including request latency).
+    Fetch,
+    /// Local reduction over a chunk's units.
+    Process,
+    /// Shipping the cluster's reduction object to the head (attributed to
+    /// slave 0 of the cluster for display purposes).
+    RobjTransfer,
+}
+
+impl SpanKind {
+    fn glyph(self) -> char {
+        match self {
+            SpanKind::Fetch => '▒',
+            SpanKind::Process => '█',
+            SpanKind::RobjTransfer => '◆',
+        }
+    }
+}
+
+/// One activity interval of one slave.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    pub cluster: usize,
+    pub slave: usize,
+    pub kind: SpanKind,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+/// A full run's spans plus its horizon.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub spans: Vec<Span>,
+    /// End of the run.
+    pub horizon: SimTime,
+}
+
+impl Trace {
+    /// Record a span (called by the simulator).
+    pub fn record(&mut self, cluster: usize, slave: usize, kind: SpanKind, start: SimTime, end: SimTime) {
+        debug_assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span {
+            cluster,
+            slave,
+            kind,
+            start,
+            end,
+        });
+        self.horizon = self.horizon.max(end);
+    }
+
+    /// Busy fraction of one slave over the whole run (fetch + process).
+    pub fn utilization(&self, cluster: usize, slave: usize) -> f64 {
+        if self.horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .spans
+            .iter()
+            .filter(|s| s.cluster == cluster && s.slave == slave && s.kind != SpanKind::RobjTransfer)
+            .map(|s| s.end.saturating_since(s.start).as_secs_f64())
+            .sum();
+        busy / self.horizon.as_secs_f64()
+    }
+
+    /// Mean busy fraction across all slaves of `cluster`.
+    pub fn cluster_utilization(&self, cluster: usize) -> f64 {
+        let slaves: std::collections::BTreeSet<usize> = self
+            .spans
+            .iter()
+            .filter(|s| s.cluster == cluster)
+            .map(|s| s.slave)
+            .collect();
+        if slaves.is_empty() {
+            return 0.0;
+        }
+        slaves
+            .iter()
+            .map(|&s| self.utilization(cluster, s))
+            .sum::<f64>()
+            / slaves.len() as f64
+    }
+
+    /// Render a textual Gantt chart, one row per (cluster, slave), `width`
+    /// columns spanning the whole run. Later spans overwrite earlier ones
+    /// in a cell; `█` compute, `▒` fetch, `◆` robj transfer, `·` idle.
+    pub fn render_gantt(&self, width: usize) -> String {
+        assert!(width > 0);
+        let horizon = self.horizon.as_secs_f64().max(f64::MIN_POSITIVE);
+        let mut rows: std::collections::BTreeMap<(usize, usize), Vec<char>> =
+            std::collections::BTreeMap::new();
+        for s in &self.spans {
+            let row = rows
+                .entry((s.cluster, s.slave))
+                .or_insert_with(|| vec!['·'; width]);
+            let a = ((s.start.as_secs_f64() / horizon) * width as f64) as usize;
+            let b = ((s.end.as_secs_f64() / horizon) * width as f64).ceil() as usize;
+            for cell in row.iter_mut().take(b.min(width)).skip(a.min(width - 1)) {
+                *cell = s.kind.glyph();
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "gantt over {:.2}s  (█ process, ▒ fetch, ◆ robj, · idle)",
+            self.horizon.as_secs_f64()
+        );
+        for ((c, s), row) in rows {
+            let _ = writeln!(out, "c{c}/s{s:<3} |{}|", row.into_iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn utilization_counts_busy_time() {
+        let mut tr = Trace::default();
+        tr.record(0, 0, SpanKind::Fetch, t(0.0), t(2.0));
+        tr.record(0, 0, SpanKind::Process, t(2.0), t(6.0));
+        tr.record(0, 1, SpanKind::Process, t(0.0), t(3.0));
+        tr.record(1, 0, SpanKind::RobjTransfer, t(6.0), t(10.0));
+        assert_eq!(tr.horizon, t(10.0));
+        assert!((tr.utilization(0, 0) - 0.6).abs() < 1e-12);
+        assert!((tr.utilization(0, 1) - 0.3).abs() < 1e-12);
+        // Robj transfer is not "busy" slave work.
+        assert_eq!(tr.utilization(1, 0), 0.0);
+        assert!((tr.cluster_utilization(0) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let tr = Trace::default();
+        assert_eq!(tr.utilization(0, 0), 0.0);
+        assert_eq!(tr.cluster_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut tr = Trace::default();
+        tr.record(0, 0, SpanKind::Fetch, t(0.0), t(5.0));
+        tr.record(0, 0, SpanKind::Process, t(5.0), t(10.0));
+        tr.record(1, 0, SpanKind::Process, t(0.0), t(10.0));
+        let g = tr.render_gantt(20);
+        assert!(g.contains("c0/s0"));
+        assert!(g.contains("c1/s0"));
+        let row0 = g.lines().find(|l| l.starts_with("c0/s0")).unwrap();
+        assert!(row0.contains('▒') && row0.contains('█'));
+        let row1 = g.lines().find(|l| l.starts_with("c1/s0")).unwrap();
+        assert_eq!(row1.matches('█').count(), 20, "fully busy row");
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic randomness helpers.
+//!
+//! Everything stochastic in the simulator — EC2 performance jitter,
+//! straggler injection, workload synthesis — draws from a [`DetRng`] seeded
+//! explicitly, so a run is a pure function of `(config, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG with the distribution helpers the simulator needs.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream; `salt` distinguishes siblings.
+    /// Used to give every simulated slave its own stream so adding a slave
+    /// does not perturb the draws of the others.
+    pub fn fork(&self, salt: u64) -> DetRng {
+        // SplitMix64-style mixing of the parent's next draw with the salt.
+        let mut z = self
+            .inner
+            .clone()
+            .random::<u64>()
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// Standard normal via Box-Muller (avoids a rand_distr dependency here).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.inner.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A multiplicative jitter factor with mean ~1 and coefficient of
+    /// variation `cv`, drawn from a lognormal. `cv = 0` returns exactly 1.
+    /// This is the standard model for virtualized-instance performance
+    /// variability (EC2 "noisy neighbours").
+    pub fn jitter(&mut self, cv: f64) -> f64 {
+        if cv <= 0.0 {
+            return 1.0;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = -sigma2 / 2.0; // so that E[exp(N(mu, sigma^2))] = 1
+        (mu + sigma2.sqrt() * self.std_normal()).exp()
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.random::<f64>() < p
+    }
+
+    /// Access the raw RNG for callers needing other distributions.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_stable() {
+        let parent = DetRng::new(7);
+        let mut c1 = parent.fork(1);
+        let mut c1b = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_eq!(c1.uniform().to_bits(), c1b.uniform().to_bits());
+        assert_ne!(c1.uniform().to_bits(), c2.uniform().to_bits());
+    }
+
+    #[test]
+    fn jitter_mean_is_about_one() {
+        let mut r = DetRng::new(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.jitter(0.2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "jitter mean {mean}");
+        assert_eq!(r.jitter(0.0), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_positive() {
+        let mut r = DetRng::new(11);
+        for _ in 0..10_000 {
+            assert!(r.jitter(0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn index_in_bounds() {
+        let mut r = DetRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.index(7) < 7);
+        }
+    }
+}

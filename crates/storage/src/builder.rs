@@ -1,0 +1,172 @@
+//! Dataset materialization: writing synthetic datasets into stores.
+//!
+//! Applications provide a per-chunk byte generator; the builder writes every
+//! file into the store that the [`Placement`] says is its home, and returns
+//! the encoded index. This is the test-harness analogue of the paper's
+//! offline data organizer plus the upload of part of the dataset to S3.
+
+use crate::index;
+use crate::layout::{ChunkMeta, DatasetLayout, LocationId, Placement};
+use crate::store::ObjectStore;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+/// Map from site to the store serving that site.
+pub type StoreMap = BTreeMap<LocationId, Arc<dyn ObjectStore>>;
+
+/// Materialize `layout` into `stores` according to `placement`.
+///
+/// `fill` is called once per chunk with the chunk's metadata and a zeroed
+/// buffer of exactly `chunk.len` bytes to fill with records.
+///
+/// Returns the encoded index file (which the head node consumes).
+pub fn materialize<F>(
+    layout: &DatasetLayout,
+    placement: &Placement,
+    stores: &StoreMap,
+    mut fill: F,
+) -> io::Result<Vec<u8>>
+where
+    F: FnMut(&ChunkMeta, &mut [u8]),
+{
+    layout
+        .validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    if placement.n_files() != layout.files.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "placement covers {} files, layout has {}",
+                placement.n_files(),
+                layout.files.len()
+            ),
+        ));
+    }
+    for file in &layout.files {
+        let home = placement.home(file.id);
+        let store = stores.get(&home).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no store registered for {home}"),
+            )
+        })?;
+        let mut buf = vec![0u8; file.size as usize];
+        for chunk in layout.chunks_of_file(file.id) {
+            let range = chunk.offset as usize..(chunk.offset + chunk.len) as usize;
+            fill(chunk, &mut buf[range]);
+        }
+        store.put(&file.name, Bytes::from(buf))?;
+    }
+    Ok(index::encode(layout))
+}
+
+/// Verify that every file of `layout` is present, with the right size, in
+/// its home store. Useful as a post-materialization sanity check and in
+/// failure-injection tests.
+pub fn verify_placement(
+    layout: &DatasetLayout,
+    placement: &Placement,
+    stores: &StoreMap,
+) -> io::Result<()> {
+    for file in &layout.files {
+        let home = placement.home(file.id);
+        let store = stores.get(&home).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no store for {home}"))
+        })?;
+        let size = store.size_of(&file.name)?;
+        if size != file.size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{} has size {size} in {}, index says {}",
+                    file.name,
+                    store.name(),
+                    file.size
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::FileId;
+    use crate::organizer::organize_even;
+    use crate::store::MemStore;
+
+    fn stores2() -> (StoreMap, Arc<MemStore>, Arc<MemStore>) {
+        let local = Arc::new(MemStore::new("local"));
+        let cloud = Arc::new(MemStore::new("cloud"));
+        let mut m: StoreMap = BTreeMap::new();
+        m.insert(LocationId(0), local.clone() as Arc<dyn ObjectStore>);
+        m.insert(LocationId(1), cloud.clone() as Arc<dyn ObjectStore>);
+        (m, local, cloud)
+    }
+
+    #[test]
+    fn materialize_places_files_by_home() {
+        let layout = organize_even(4, 256, 64, 8).unwrap();
+        let placement = Placement::split_fraction(4, 0.5, LocationId(0), LocationId(1));
+        let (stores, local, cloud) = stores2();
+        let idx = materialize(&layout, &placement, &stores, |chunk, buf| {
+            buf.fill(chunk.id.0 as u8);
+        })
+        .unwrap();
+
+        assert_eq!(local.list().len(), 2);
+        assert_eq!(cloud.list().len(), 2);
+        verify_placement(&layout, &placement, &stores).unwrap();
+
+        // Index round-trips.
+        let decoded = index::decode(&idx).unwrap();
+        assert_eq!(decoded, layout);
+
+        // Chunk contents are what the generator wrote, at the right offsets.
+        let c = layout.chunk(crate::layout::ChunkId(1));
+        let file = layout.file(c.file);
+        let bytes = local.get_range(&file.name, c.offset, c.len).unwrap();
+        assert!(bytes.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn missing_store_is_an_error() {
+        let layout = organize_even(2, 64, 64, 8).unwrap();
+        let placement = Placement::all_at(2, LocationId(9));
+        let (stores, _, _) = stores2();
+        let err = materialize(&layout, &placement, &stores, |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn placement_size_mismatch_is_an_error() {
+        let layout = organize_even(3, 64, 64, 8).unwrap();
+        let placement = Placement::all_at(2, LocationId(0));
+        let (stores, _, _) = stores2();
+        let err = materialize(&layout, &placement, &stores, |_, _| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn verify_detects_missing_and_resized_files() {
+        let layout = organize_even(2, 64, 64, 8).unwrap();
+        let placement = Placement::all_at(2, LocationId(0));
+        let (stores, local, _) = stores2();
+        materialize(&layout, &placement, &stores, |_, _| {}).unwrap();
+        verify_placement(&layout, &placement, &stores).unwrap();
+
+        // Resize one file behind the framework's back.
+        local.put("part-00000", Bytes::from_static(b"tiny")).unwrap();
+        let err = verify_placement(&layout, &placement, &stores).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Delete it entirely.
+        local.delete("part-00000").unwrap();
+        let err = verify_placement(&layout, &placement, &stores).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let _ = FileId(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! A read-through chunk cache.
+//!
+//! The paper's iterative applications (k-means, PageRank) re-read the
+//! *entire* dataset on every pass; when the data is remote, every pass pays
+//! full WAN cost. [`CachedStore`] is a slave-side decorator that keeps
+//! recently fetched ranges in memory (LRU, bounded by bytes), so passes
+//! after the first hit cache instead of the wire. Entries are keyed by the
+//! exact `(key, offset, len)` triple — chunk boundaries are stable across
+//! passes by construction of the layout, so exact-range keying is both
+//! simple and fully effective.
+
+use crate::store::ObjectStore;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type CacheKey = (String, u64, u64);
+
+/// LRU state: entries (with a recency stamp) plus a recency queue.
+///
+/// Lazy LRU: each access pushes a fresh `(key, stamp)` record instead of
+/// moving the old one; eviction pops from the back and only evicts when
+/// the popped stamp is still the key's *current* stamp — older records are
+/// stale duplicates and are skipped.
+struct CacheState {
+    entries: HashMap<CacheKey, (Bytes, u64)>,
+    recency: std::collections::VecDeque<(CacheKey, u64)>,
+    bytes: usize,
+    next_stamp: u64,
+}
+
+/// A byte-bounded LRU read-through cache over any [`ObjectStore`].
+pub struct CachedStore {
+    inner: Arc<dyn ObjectStore>,
+    capacity_bytes: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    name: String,
+}
+
+impl CachedStore {
+    /// Cache up to `capacity_bytes` of fetched ranges over `inner`.
+    pub fn new(inner: Arc<dyn ObjectStore>, capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "cache capacity must be positive");
+        CachedStore {
+            name: format!("cached({})", inner.name()),
+            inner,
+            capacity_bytes,
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                recency: std::collections::VecDeque::new(),
+                bytes: 0,
+                next_stamp: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+
+    /// Drop everything (e.g. after the backing data changed).
+    pub fn invalidate_all(&self) {
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.recency.clear();
+        st.bytes = 0;
+    }
+
+    fn insert(&self, key: CacheKey, data: Bytes) {
+        // Oversized objects bypass the cache entirely.
+        if data.len() > self.capacity_bytes {
+            return;
+        }
+        let mut st = self.state.lock();
+        if st.entries.contains_key(&key) {
+            return; // racing fetch already cached it
+        }
+        let stamp = st.next_stamp;
+        st.next_stamp += 1;
+        st.bytes += data.len();
+        st.entries.insert(key.clone(), (data, stamp));
+        st.recency.push_front((key, stamp));
+        while st.bytes > self.capacity_bytes {
+            let Some((victim, stamp)) = st.recency.pop_back() else {
+                break;
+            };
+            // Only evict when this record is the key's freshest access;
+            // older records are stale duplicates left by touch().
+            if st.entries.get(&victim).map(|(_, s)| *s) == Some(stamp) {
+                if let Some((evicted, _)) = st.entries.remove(&victim) {
+                    st.bytes -= evicted.len();
+                }
+            }
+        }
+    }
+
+    fn touch(&self, key: &CacheKey) {
+        let mut st = self.state.lock();
+        let stamp = st.next_stamp;
+        st.next_stamp += 1;
+        let Some(entry) = st.entries.get_mut(key) else {
+            return; // evicted between lookup and touch (benign race)
+        };
+        entry.1 = stamp;
+        // Bound the queue so pathological hit storms cannot grow it
+        // without limit.
+        if st.recency.len() > 4 * st.entries.len() + 16 {
+            let drained = std::mem::take(&mut st.recency);
+            st.recency = drained
+                .into_iter()
+                .filter(|(k, s)| st.entries.get(k).map(|(_, cur)| cur == s).unwrap_or(false))
+                .collect();
+        }
+        st.recency.push_front((key.clone(), stamp));
+    }
+}
+
+impl ObjectStore for CachedStore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> io::Result<()> {
+        // Writes invalidate: simplest correct policy.
+        self.invalidate_all();
+        self.inner.put(key, data)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> io::Result<Bytes> {
+        let ckey = (key.to_owned(), offset, len);
+        // Bind the lookup result *outside* the `if let`: the scrutinee's
+        // temporary MutexGuard would otherwise live across `touch()`'s own
+        // lock() and self-deadlock.
+        let cached = self.state.lock().entries.get(&ckey).map(|(b, _)| b.clone());
+        if let Some(hit) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(&ckey);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = self.inner.get_range(key, offset, len)?;
+        self.insert(ckey, data.clone());
+        Ok(data)
+    }
+
+    fn size_of(&self, key: &str) -> io::Result<u64> {
+        self.inner.size_of(key)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn delete(&self, key: &str) -> io::Result<bool> {
+        self.invalidate_all();
+        self.inner.delete(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s3sim::{RemoteProfile, RemoteStore};
+    use crate::store::MemStore;
+    use std::time::{Duration, Instant};
+
+    fn backing() -> Arc<MemStore> {
+        let s = Arc::new(MemStore::new("m"));
+        s.put("a", Bytes::from(vec![1u8; 10_000])).unwrap();
+        s.put("b", Bytes::from(vec![2u8; 10_000])).unwrap();
+        s
+    }
+
+    #[test]
+    fn second_read_hits() {
+        let c = CachedStore::new(backing(), 1 << 20);
+        let x = c.get_range("a", 0, 100).unwrap();
+        let y = c.get_range("a", 0, 100).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        // Different range of the same key is a distinct entry.
+        c.get_range("a", 100, 100).unwrap();
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.cached_bytes(), 200);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let c = CachedStore::new(backing(), 250);
+        c.get_range("a", 0, 100).unwrap(); // cache: a0
+        c.get_range("a", 100, 100).unwrap(); // cache: a0, a100
+        c.get_range("a", 0, 100).unwrap(); // touch a0 (now most recent)
+        c.get_range("b", 0, 100).unwrap(); // evicts a100 (LRU), not a0
+        assert!(c.cached_bytes() <= 250);
+        let before = c.hits();
+        c.get_range("a", 0, 100).unwrap();
+        assert_eq!(c.hits(), before + 1, "a0 survived eviction");
+        let misses_before = c.misses();
+        c.get_range("a", 100, 100).unwrap();
+        assert_eq!(c.misses(), misses_before + 1, "a100 was evicted");
+    }
+
+    #[test]
+    fn oversized_reads_bypass() {
+        let c = CachedStore::new(backing(), 50);
+        c.get_range("a", 0, 1000).unwrap();
+        assert_eq!(c.cached_bytes(), 0);
+        c.get_range("a", 0, 1000).unwrap();
+        assert_eq!(c.hits(), 0, "nothing cached, nothing hit");
+    }
+
+    #[test]
+    fn writes_invalidate() {
+        let c = CachedStore::new(backing(), 1 << 20);
+        c.get_range("a", 0, 100).unwrap();
+        c.put("a", Bytes::from(vec![9u8; 200])).unwrap();
+        let got = c.get_range("a", 0, 100).unwrap();
+        assert!(got.iter().all(|&b| b == 9), "stale data served after write");
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn cache_makes_throttled_rereads_fast() {
+        // A slow remote: 20ms latency per GET.
+        let remote = Arc::new(RemoteStore::new(
+            "slow",
+            backing(),
+            RemoteProfile {
+                request_latency: Duration::from_millis(20),
+                aggregate_bps: f64::INFINITY,
+                per_conn_bps: f64::INFINITY,
+            },
+        ));
+        let c = CachedStore::new(remote, 1 << 20);
+        let t0 = Instant::now();
+        c.get_range("a", 0, 4096).unwrap();
+        let cold = t0.elapsed();
+        let t1 = Instant::now();
+        for _ in 0..10 {
+            c.get_range("a", 0, 4096).unwrap();
+        }
+        let warm = t1.elapsed();
+        assert!(cold >= Duration::from_millis(18));
+        assert!(
+            warm < cold,
+            "ten warm reads ({warm:?}) should beat one cold read ({cold:?})"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_are_safe() {
+        let c = Arc::new(CachedStore::new(backing(), 1 << 20));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let off = (i % 10) * 100;
+                        let got = c.get_range("a", off, 100).unwrap();
+                        assert_eq!(got.len(), 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.hits() + c.misses(), 1600);
+        assert!(c.cached_bytes() <= 1 << 20);
+    }
+}

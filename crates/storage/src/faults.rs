@@ -1,0 +1,156 @@
+//! Fault injection: a store decorator that fails requests on a
+//! deterministic schedule.
+//!
+//! 2011-era S3 served bulk workloads with a small but real transient-error
+//! rate, which is why production retrievers retry. [`FlakyStore`] lets
+//! tests and examples reproduce that: each GET fails with probability `p`
+//! (seeded, so runs are reproducible), or deterministically for the first
+//! `n` attempts on each key.
+
+use crate::store::ObjectStore;
+use bytes::Bytes;
+use cb_simnet::DetRng;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// When a [`FlakyStore`] injects failures.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultMode {
+    /// Every GET fails independently with this probability.
+    Random { probability: f64 },
+    /// The first `n` GETs of each key fail, then the key works forever —
+    /// the worst case a bounded retry policy must survive.
+    FirstNPerKey { n: u32 },
+}
+
+/// An [`ObjectStore`] decorator that injects transient GET failures.
+/// Writes and metadata operations are never failed (they are test
+/// scaffolding).
+pub struct FlakyStore {
+    inner: Arc<dyn ObjectStore>,
+    mode: FaultMode,
+    rng: Mutex<DetRng>,
+    per_key_attempts: Mutex<HashMap<String, u32>>,
+    injected: AtomicU64,
+    name: String,
+}
+
+impl FlakyStore {
+    pub fn new(inner: Arc<dyn ObjectStore>, mode: FaultMode, seed: u64) -> Self {
+        FlakyStore {
+            name: format!("flaky({})", inner.name()),
+            inner,
+            mode,
+            rng: Mutex::new(DetRng::new(seed)),
+            per_key_attempts: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self, key: &str) -> bool {
+        match self.mode {
+            FaultMode::Random { probability } => self.rng.lock().chance(probability),
+            FaultMode::FirstNPerKey { n } => {
+                let mut m = self.per_key_attempts.lock();
+                let c = m.entry(key.to_owned()).or_insert(0);
+                *c += 1;
+                *c <= n
+            }
+        }
+    }
+}
+
+impl ObjectStore for FlakyStore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> io::Result<()> {
+        self.inner.put(key, data)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> io::Result<Bytes> {
+        if self.should_fail(key) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                format!("injected transient failure on {key}"),
+            ));
+        }
+        self.inner.get_range(key, offset, len)
+    }
+
+    fn size_of(&self, key: &str) -> io::Result<u64> {
+        self.inner.size_of(key)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn delete(&self, key: &str) -> io::Result<bool> {
+        self.inner.delete(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn backing() -> Arc<MemStore> {
+        let s = Arc::new(MemStore::new("m"));
+        s.put("k", Bytes::from_static(b"0123456789")).unwrap();
+        s
+    }
+
+    #[test]
+    fn first_n_mode_fails_then_recovers() {
+        let s = FlakyStore::new(backing(), FaultMode::FirstNPerKey { n: 2 }, 0);
+        assert!(s.get_range("k", 0, 4).is_err());
+        assert!(s.get_range("k", 0, 4).is_err());
+        let ok = s.get_range("k", 0, 4).unwrap();
+        assert_eq!(ok.as_ref(), b"0123");
+        assert_eq!(s.injected_failures(), 2);
+        // Independent counters per key.
+        s.put("other", Bytes::from_static(b"xy")).unwrap();
+        assert!(s.get_range("other", 0, 1).is_err());
+    }
+
+    #[test]
+    fn random_mode_is_deterministic_per_seed() {
+        let run = |seed| {
+            let s = FlakyStore::new(backing(), FaultMode::Random { probability: 0.5 }, seed);
+            (0..32)
+                .map(|_| s.get_range("k", 0, 1).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn probability_zero_never_fails() {
+        let s = FlakyStore::new(backing(), FaultMode::Random { probability: 0.0 }, 1);
+        for _ in 0..100 {
+            assert!(s.get_range("k", 0, 10).is_ok());
+        }
+        assert_eq!(s.injected_failures(), 0);
+    }
+
+    #[test]
+    fn metadata_ops_pass_through() {
+        let s = FlakyStore::new(backing(), FaultMode::FirstNPerKey { n: 99 }, 1);
+        assert_eq!(s.size_of("k").unwrap(), 10);
+        assert_eq!(s.list(), vec!["k".to_string()]);
+        assert!(s.name().starts_with("flaky("));
+    }
+}

@@ -1,0 +1,287 @@
+//! The binary index-file format.
+//!
+//! The paper: *"A data index file is generated after analyzing the data set.
+//! It holds metadata such as physical locations (data files), starting offset
+//! addresses, size of chunks and number of data units inside the chunks.
+//! When the head node starts, it reads the index file in order to generate
+//! the job pool."*
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   : [u8; 4] = b"GRIX"
+//! version : u32     = 1
+//! n_files : u32
+//! files   : n_files × { name_len: u16, name: [u8], size: u64 }
+//! n_chunks: u32
+//! chunks  : n_chunks × { file: u32, offset: u64, len: u64, units: u64 }
+//! crc     : u32  (CRC-32/ISO-HDLC of everything before it)
+//! ```
+
+use crate::layout::{ChunkId, ChunkMeta, DatasetLayout, FileId, FileMeta};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"GRIX";
+const VERSION: u32 = 1;
+
+/// Error decoding an index file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// Input ended prematurely.
+    Truncated { need: usize, have: usize },
+    /// Bad magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// CRC mismatch — the file is corrupt.
+    BadChecksum { stored: u32, computed: u32 },
+    /// File name is not valid UTF-8.
+    BadName,
+    /// Decoded layout violates structural invariants.
+    InvalidLayout(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Truncated { need, have } => {
+                write!(f, "index truncated: need {need} bytes, have {have}")
+            }
+            IndexError::BadMagic => write!(f, "not an index file (bad magic)"),
+            IndexError::BadVersion(v) => write!(f, "unsupported index version {v}"),
+            IndexError::BadChecksum { stored, computed } => {
+                write!(f, "index checksum mismatch: stored {stored:08x}, computed {computed:08x}")
+            }
+            IndexError::BadName => write!(f, "file name is not valid UTF-8"),
+            IndexError::InvalidLayout(e) => write!(f, "decoded layout invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// CRC-32 (ISO-HDLC polynomial, reflected) — small table-free implementation;
+/// index files are tiny so speed is irrelevant, determinism is everything.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialize a layout into the index format.
+pub fn encode(layout: &DatasetLayout) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + layout.files.len() * 32 + layout.chunks.len() * 28);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(layout.files.len() as u32).to_le_bytes());
+    for f in &layout.files {
+        let name = f.name.as_bytes();
+        assert!(name.len() <= u16::MAX as usize, "file name too long");
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&f.size.to_le_bytes());
+    }
+    out.extend_from_slice(&(layout.chunks.len() as u32).to_le_bytes());
+    for c in &layout.chunks {
+        out.extend_from_slice(&c.file.0.to_le_bytes());
+        out.extend_from_slice(&c.offset.to_le_bytes());
+        out.extend_from_slice(&c.len.to_le_bytes());
+        out.extend_from_slice(&c.units.to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IndexError> {
+        if self.pos + n > self.buf.len() {
+            return Err(IndexError::Truncated {
+                need: self.pos + n,
+                have: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, IndexError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, IndexError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, IndexError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Parse and validate an index file.
+pub fn decode(data: &[u8]) -> Result<DatasetLayout, IndexError> {
+    if data.len() < 4 {
+        return Err(IndexError::Truncated {
+            need: 4,
+            have: data.len(),
+        });
+    }
+    // Checksum covers everything but the trailing CRC word.
+    if data.len() < 8 {
+        return Err(IndexError::Truncated {
+            need: 8,
+            have: data.len(),
+        });
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(IndexError::BadChecksum { stored, computed });
+    }
+
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(IndexError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(IndexError::BadVersion(version));
+    }
+    let n_files = r.u32()? as usize;
+    let mut files = Vec::with_capacity(n_files.min(1 << 20));
+    for i in 0..n_files {
+        let name_len = r.u16()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| IndexError::BadName)?
+            .to_owned();
+        let size = r.u64()?;
+        files.push(FileMeta {
+            id: FileId(i as u32),
+            name,
+            size,
+        });
+    }
+    let n_chunks = r.u32()? as usize;
+    let mut chunks = Vec::with_capacity(n_chunks.min(1 << 24));
+    for i in 0..n_chunks {
+        let file = FileId(r.u32()?);
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        let units = r.u64()?;
+        chunks.push(ChunkMeta {
+            id: ChunkId(i as u32),
+            file,
+            offset,
+            len,
+            units,
+        });
+    }
+    let layout = DatasetLayout { files, chunks };
+    layout
+        .validate()
+        .map_err(|e| IndexError::InvalidLayout(e.to_string()))?;
+    Ok(layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organizer::organize_even;
+
+    #[test]
+    fn round_trip() {
+        let layout = organize_even(4, 1024, 64, 8).unwrap();
+        let bytes = encode(&layout);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(layout, back);
+    }
+
+    #[test]
+    fn crc_is_stable() {
+        // Pin the CRC-32 implementation against the standard test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let layout = organize_even(2, 512, 64, 8).unwrap();
+        let mut bytes = encode(&layout);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            decode(&bytes),
+            Err(IndexError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let layout = organize_even(2, 512, 64, 8).unwrap();
+        let bytes = encode(&layout);
+        assert!(matches!(
+            decode(&bytes[..5]),
+            Err(IndexError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let layout = organize_even(1, 128, 64, 8).unwrap();
+        let mut bytes = encode(&layout);
+        bytes[0] = b'X';
+        // CRC still matches body, so recompute it.
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(IndexError::BadMagic));
+    }
+
+    #[test]
+    fn detects_bad_version() {
+        let layout = organize_even(1, 128, 64, 8).unwrap();
+        let mut bytes = encode(&layout);
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(IndexError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_invalid_layout_with_valid_framing() {
+        // Hand-build an index whose chunk list leaves a gap.
+        let layout = DatasetLayout {
+            files: vec![FileMeta {
+                id: FileId(0),
+                name: "f".into(),
+                size: 100,
+            }],
+            chunks: vec![ChunkMeta {
+                id: ChunkId(0),
+                file: FileId(0),
+                offset: 0,
+                len: 60,
+                units: 6,
+            }],
+        };
+        let bytes = encode(&layout);
+        assert!(matches!(
+            decode(&bytes),
+            Err(IndexError::InvalidLayout(_))
+        ));
+    }
+}

@@ -1,0 +1,393 @@
+//! Dataset layout: the paper's three-granularity data organization.
+//!
+//! A dataset is a set of **files**; each file is split into logical
+//! **chunks** (the unit of job assignment — one chunk == one job), and each
+//! chunk holds a whole number of **data units**, the smallest atomically
+//! processable elements (a point, an edge, a record). Chunk size targets the
+//! compute node's memory; unit-group size (chosen later, at processing time)
+//! targets its cache.
+
+use std::fmt;
+
+/// Identifier of a file within a dataset (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// Identifier of a chunk within a dataset (dense, 0-based, global across
+/// files). A chunk is the paper's "job".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkId(pub u32);
+
+/// Identifier of a *site* holding data and/or compute (e.g. 0 = local
+/// cluster, 1 = cloud). The framework is not limited to two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocationId(pub u16);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk{}", self.0)
+    }
+}
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loc{}", self.0)
+    }
+}
+
+/// Metadata for one file of the dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    pub id: FileId,
+    /// Human-readable name, also the key under which stores hold the bytes.
+    pub name: String,
+    /// Total size in bytes.
+    pub size: u64,
+}
+
+/// Metadata for one chunk (== one job), as recorded in the index file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    pub id: ChunkId,
+    /// File containing this chunk.
+    pub file: FileId,
+    /// Byte offset of the chunk within its file.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Number of data units inside the chunk.
+    pub units: u64,
+}
+
+/// The full dataset layout: every file and every chunk, in index order.
+///
+/// Invariants (enforced by [`DatasetLayout::validate`] and checked on index
+/// decode):
+/// * file ids are dense `0..files.len()`,
+/// * chunk ids are dense `0..chunks.len()`,
+/// * within each file, chunks are contiguous, non-overlapping, and tile the
+///   file exactly from offset 0 to `size`,
+/// * chunks of one file are consecutive in the global chunk order (this is
+///   what makes "assign consecutive jobs" equal "sequential file reads").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetLayout {
+    pub files: Vec<FileMeta>,
+    pub chunks: Vec<ChunkMeta>,
+}
+
+/// Violation detected by [`DatasetLayout::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    NonDenseFileIds { at: usize },
+    NonDenseChunkIds { at: usize },
+    UnknownFile { chunk: ChunkId, file: FileId },
+    ChunkNotContiguous { chunk: ChunkId },
+    FileNotTiled { file: FileId, covered: u64, size: u64 },
+    FileChunksNotConsecutive { file: FileId },
+    EmptyChunk { chunk: ChunkId },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::NonDenseFileIds { at } => write!(f, "file id at position {at} not dense"),
+            LayoutError::NonDenseChunkIds { at } => {
+                write!(f, "chunk id at position {at} not dense")
+            }
+            LayoutError::UnknownFile { chunk, file } => {
+                write!(f, "{chunk} references unknown {file}")
+            }
+            LayoutError::ChunkNotContiguous { chunk } => {
+                write!(f, "{chunk} does not start where the previous chunk ended")
+            }
+            LayoutError::FileNotTiled {
+                file,
+                covered,
+                size,
+            } => write!(f, "{file} covered {covered} of {size} bytes"),
+            LayoutError::FileChunksNotConsecutive { file } => {
+                write!(f, "chunks of {file} are not consecutive in global order")
+            }
+            LayoutError::EmptyChunk { chunk } => write!(f, "{chunk} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl DatasetLayout {
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Total data units across all chunks.
+    pub fn total_units(&self) -> u64 {
+        self.chunks.iter().map(|c| c.units).sum()
+    }
+
+    /// Number of jobs (== chunks).
+    pub fn n_jobs(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Chunk ids belonging to `file`, in offset order.
+    pub fn chunks_of_file(&self, file: FileId) -> impl Iterator<Item = &ChunkMeta> {
+        self.chunks.iter().filter(move |c| c.file == file)
+    }
+
+    /// Look up a chunk.
+    pub fn chunk(&self, id: ChunkId) -> &ChunkMeta {
+        &self.chunks[id.0 as usize]
+    }
+
+    /// Look up a file.
+    pub fn file(&self, id: FileId) -> &FileMeta {
+        &self.files[id.0 as usize]
+    }
+
+    /// Check every structural invariant; returns the first violation.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        for (i, f) in self.files.iter().enumerate() {
+            if f.id.0 as usize != i {
+                return Err(LayoutError::NonDenseFileIds { at: i });
+            }
+        }
+        for (i, c) in self.chunks.iter().enumerate() {
+            if c.id.0 as usize != i {
+                return Err(LayoutError::NonDenseChunkIds { at: i });
+            }
+            if c.file.0 as usize >= self.files.len() {
+                return Err(LayoutError::UnknownFile {
+                    chunk: c.id,
+                    file: c.file,
+                });
+            }
+            if c.len == 0 {
+                return Err(LayoutError::EmptyChunk { chunk: c.id });
+            }
+        }
+        // Per-file tiling + global consecutiveness.
+        for f in &self.files {
+            let mut expected_offset = 0u64;
+            let mut last_global: Option<u32> = None;
+            for c in self.chunks.iter().filter(|c| c.file == f.id) {
+                if let Some(prev) = last_global {
+                    if c.id.0 != prev + 1 {
+                        return Err(LayoutError::FileChunksNotConsecutive { file: f.id });
+                    }
+                }
+                last_global = Some(c.id.0);
+                if c.offset != expected_offset {
+                    return Err(LayoutError::ChunkNotContiguous { chunk: c.id });
+                }
+                expected_offset += c.len;
+            }
+            if expected_offset != f.size {
+                return Err(LayoutError::FileNotTiled {
+                    file: f.id,
+                    covered: expected_offset,
+                    size: f.size,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which site each file lives on. Placement is *per file*: the paper's skew
+/// configurations ("33% of the data local, 67% on S3") move whole files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    home: Vec<LocationId>,
+}
+
+impl Placement {
+    /// Every file at a single site.
+    pub fn all_at(n_files: usize, loc: LocationId) -> Self {
+        Placement {
+            home: vec![loc; n_files],
+        }
+    }
+
+    /// Explicit per-file assignment.
+    pub fn from_homes(home: Vec<LocationId>) -> Self {
+        Placement { home }
+    }
+
+    /// The first `round(frac * n_files)` files at `first`, the rest at
+    /// `second` — exactly how the paper realizes env-50/50, 33/67, 17/83.
+    pub fn split_fraction(n_files: usize, frac_at_first: f64, first: LocationId, second: LocationId) -> Self {
+        let k = ((n_files as f64) * frac_at_first).round() as usize;
+        let k = k.min(n_files);
+        let mut home = vec![first; k];
+        home.extend(std::iter::repeat_n(second, n_files - k));
+        Placement { home }
+    }
+
+    pub fn n_files(&self) -> usize {
+        self.home.len()
+    }
+
+    /// Site holding `file`.
+    pub fn home(&self, file: FileId) -> LocationId {
+        self.home[file.0 as usize]
+    }
+
+    /// Files homed at `loc`.
+    pub fn files_at(&self, loc: LocationId) -> impl Iterator<Item = FileId> + '_ {
+        self.home
+            .iter()
+            .enumerate()
+            .filter(move |(_, &h)| h == loc)
+            .map(|(i, _)| FileId(i as u32))
+    }
+
+    /// Fraction of files at `loc`.
+    pub fn fraction_at(&self, loc: LocationId) -> f64 {
+        if self.home.is_empty() {
+            return 0.0;
+        }
+        self.files_at(loc).count() as f64 / self.home.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_file_layout() -> DatasetLayout {
+        DatasetLayout {
+            files: vec![
+                FileMeta {
+                    id: FileId(0),
+                    name: "a".into(),
+                    size: 100,
+                },
+                FileMeta {
+                    id: FileId(1),
+                    name: "b".into(),
+                    size: 50,
+                },
+            ],
+            chunks: vec![
+                ChunkMeta {
+                    id: ChunkId(0),
+                    file: FileId(0),
+                    offset: 0,
+                    len: 60,
+                    units: 6,
+                },
+                ChunkMeta {
+                    id: ChunkId(1),
+                    file: FileId(0),
+                    offset: 60,
+                    len: 40,
+                    units: 4,
+                },
+                ChunkMeta {
+                    id: ChunkId(2),
+                    file: FileId(1),
+                    offset: 0,
+                    len: 50,
+                    units: 5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_layout_passes() {
+        let l = two_file_layout();
+        assert_eq!(l.validate(), Ok(()));
+        assert_eq!(l.total_bytes(), 150);
+        assert_eq!(l.total_units(), 15);
+        assert_eq!(l.n_jobs(), 3);
+        assert_eq!(l.chunks_of_file(FileId(0)).count(), 2);
+        assert_eq!(l.chunk(ChunkId(2)).file, FileId(1));
+    }
+
+    #[test]
+    fn gap_detected() {
+        let mut l = two_file_layout();
+        l.chunks[1].offset = 61;
+        assert_eq!(
+            l.validate(),
+            Err(LayoutError::ChunkNotContiguous { chunk: ChunkId(1) })
+        );
+    }
+
+    #[test]
+    fn short_tiling_detected() {
+        let mut l = two_file_layout();
+        l.chunks[1].len = 39;
+        assert!(matches!(
+            l.validate(),
+            Err(LayoutError::FileNotTiled { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_chunk_detected() {
+        let mut l = two_file_layout();
+        l.chunks[2].len = 0;
+        assert_eq!(
+            l.validate(),
+            Err(LayoutError::EmptyChunk { chunk: ChunkId(2) })
+        );
+    }
+
+    #[test]
+    fn unknown_file_detected() {
+        let mut l = two_file_layout();
+        l.chunks[2].file = FileId(9);
+        assert!(matches!(l.validate(), Err(LayoutError::UnknownFile { .. })));
+    }
+
+    #[test]
+    fn non_consecutive_global_order_detected() {
+        let mut l = two_file_layout();
+        // Interleave: file0's chunks become global 0 and 2.
+        l.chunks.swap(1, 2);
+        l.chunks[1].id = ChunkId(1);
+        l.chunks[2].id = ChunkId(2);
+        assert!(matches!(
+            l.validate(),
+            Err(LayoutError::FileChunksNotConsecutive { .. })
+        ));
+    }
+
+    #[test]
+    fn placement_split_fraction() {
+        let local = LocationId(0);
+        let cloud = LocationId(1);
+        let p = Placement::split_fraction(32, 0.33, local, cloud);
+        assert_eq!(p.files_at(local).count(), 11); // round(10.56) = 11
+        assert_eq!(p.files_at(cloud).count(), 21);
+        assert_eq!(p.home(FileId(0)), local);
+        assert_eq!(p.home(FileId(31)), cloud);
+        assert!((p.fraction_at(local) - 11.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placement_all_at() {
+        let p = Placement::all_at(5, LocationId(1));
+        assert_eq!(p.files_at(LocationId(1)).count(), 5);
+        assert_eq!(p.files_at(LocationId(0)).count(), 0);
+        assert_eq!(p.fraction_at(LocationId(1)), 1.0);
+    }
+
+    #[test]
+    fn placement_split_edges() {
+        let p = Placement::split_fraction(4, 0.0, LocationId(0), LocationId(1));
+        assert_eq!(p.files_at(LocationId(0)).count(), 0);
+        let p = Placement::split_fraction(4, 1.0, LocationId(0), LocationId(1));
+        assert_eq!(p.files_at(LocationId(0)).count(), 4);
+        let p = Placement::split_fraction(4, 2.0, LocationId(0), LocationId(1));
+        assert_eq!(p.files_at(LocationId(0)).count(), 4, "clamped");
+    }
+}

@@ -1,0 +1,40 @@
+//! # cb-storage — data organization and object stores
+//!
+//! Implements the paper's data-organization layer (§III-B):
+//!
+//! * [`layout`] — files → chunks → units, plus [`layout::Placement`] mapping
+//!   files to sites (local cluster vs. cloud).
+//! * [`index`] — the binary index file the head node reads to build the job
+//!   pool (CRC-protected, versioned).
+//! * [`organizer`] — the offline analyzer producing layouts from raw files.
+//! * [`store`] — the [`store::ObjectStore`] abstraction with in-memory and
+//!   on-disk backends.
+//! * [`s3sim`] — a wall-clock-accurate simulated S3 (request latency,
+//!   aggregate and per-connection bandwidth), substituting for the real
+//!   service the paper used.
+//! * [`retrieve`] — the multi-threaded ranged-GET retriever the slaves use
+//!   for remote chunks.
+//! * [`builder`] — synthetic dataset materialization for tests, examples and
+//!   benchmarks.
+
+#![deny(unsafe_code)]
+
+pub mod builder;
+pub mod cache;
+pub mod faults;
+pub mod index;
+pub mod layout;
+pub mod organizer;
+pub mod retrieve;
+pub mod s3sim;
+pub mod store;
+
+pub use builder::{materialize, verify_placement, StoreMap};
+pub use cache::CachedStore;
+pub use faults::{FaultMode, FlakyStore};
+pub use index::{decode as decode_index, encode as encode_index, IndexError};
+pub use layout::{ChunkId, ChunkMeta, DatasetLayout, FileId, FileMeta, LocationId, Placement};
+pub use organizer::{organize, organize_even, organize_paper_shape, OrganizerConfig};
+pub use retrieve::Retriever;
+pub use s3sim::{RemoteProfile, RemoteStore};
+pub use store::{DiskStore, MemStore, ObjectStore};

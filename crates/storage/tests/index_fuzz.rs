@@ -1,0 +1,99 @@
+//! Robustness of the index-file decoder: arbitrary and corrupted inputs
+//! must produce errors, never panics or bogus layouts. The head node trusts
+//! the index to build the job pool, so this is the crate's main parsing
+//! attack surface.
+
+use cb_storage::index::{decode, encode};
+use cb_storage::layout::Placement;
+use cb_storage::organizer::{organize, OrganizerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode(&data);
+    }
+
+    /// Any single-byte corruption of a valid index either still decodes to
+    /// the same layout (impossible with CRC, but stated for completeness)
+    /// or errors cleanly.
+    #[test]
+    fn single_byte_corruption_is_caught(
+        n_files in 1usize..6,
+        chunks_per_file in 1u64..6,
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let layout = organize(
+            &(0..n_files)
+                .map(|i| (format!("f{i}"), chunks_per_file * 64))
+                .collect::<Vec<_>>(),
+            &OrganizerConfig { chunk_bytes: 64, unit_bytes: 8 },
+        )
+        .unwrap();
+        let mut bytes = encode(&layout);
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip;
+        // Either the CRC (or framing) catches the corruption, or — only
+        // possible if the flip landed in a dead byte — the decode matches
+        // the original exactly.
+        if let Ok(decoded) = decode(&bytes) {
+            prop_assert_eq!(decoded, layout, "corruption accepted silently");
+        }
+    }
+
+    /// Truncation at any point errors cleanly.
+    #[test]
+    fn truncation_is_caught(
+        n_files in 1usize..5,
+        cut_seed in any::<u64>(),
+    ) {
+        let layout = organize(
+            &(0..n_files).map(|i| (format!("f{i}"), 128u64)).collect::<Vec<_>>(),
+            &OrganizerConfig { chunk_bytes: 64, unit_bytes: 8 },
+        )
+        .unwrap();
+        let bytes = encode(&layout);
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert!(decode(&bytes[..cut]).is_err());
+    }
+
+    /// Round trip over random (valid) shapes, including odd names.
+    #[test]
+    fn round_trip_random_layouts(
+        sizes in prop::collection::vec(1u64..20, 1..10),
+        name_salt in "[a-zA-Z0-9_.-]{1,24}",
+    ) {
+        let files: Vec<(String, u64)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (format!("{name_salt}-{i}"), s * 16))
+            .collect();
+        let layout = organize(
+            &files,
+            &OrganizerConfig { chunk_bytes: 48, unit_bytes: 16 },
+        )
+        .unwrap();
+        let bytes = encode(&layout);
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, layout);
+    }
+
+    /// Placement fractions always cover all files exactly once.
+    #[test]
+    fn placement_partition_is_total(
+        n_files in 1usize..64,
+        frac in 0.0f64..1.0,
+    ) {
+        use cb_storage::layout::LocationId;
+        let p = Placement::split_fraction(n_files, frac, LocationId(0), LocationId(1));
+        let a = p.files_at(LocationId(0)).count();
+        let b = p.files_at(LocationId(1)).count();
+        prop_assert_eq!(a + b, n_files);
+        let fa = p.fraction_at(LocationId(0));
+        prop_assert!((fa - a as f64 / n_files as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Transient-failure handling: run a batch k-NN workload against a cloud
+//! store that drops a random fraction of GETs (as the real 2011-era S3
+//! occasionally did), and watch the retriever's retry policy absorb it.
+//!
+//! ```text
+//! cargo run -p cb-apps --release --example fault_tolerance
+//! ```
+
+use cb_apps::gen::{PointMode, PointsSpec};
+use cb_apps::knn::{BatchKnnApp, BatchQueries};
+use cb_storage::builder::{materialize, StoreMap};
+use cb_storage::faults::{FaultMode, FlakyStore};
+use cb_storage::layout::{LocationId, Placement};
+use cb_storage::store::{MemStore, ObjectStore};
+use cloudburst_core::config::RuntimeConfig;
+use cloudburst_core::deploy::{ClusterSpec, DataFabric, Deployment};
+use cloudburst_core::runtime::run;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let spec = PointsSpec {
+        n_files: 6,
+        points_per_file: 20_000,
+        points_per_chunk: 2_500,
+        dim: 3,
+        seed: 99,
+        mode: PointMode::Uniform,
+    };
+    let layout = spec.layout();
+
+    // All data in the "cloud"; its store drops 20% of GETs.
+    let placement = Placement::all_at(layout.files.len(), LocationId(1));
+    let backing = Arc::new(MemStore::new("s3-backing"));
+    let mut stores: StoreMap = BTreeMap::new();
+    stores.insert(LocationId(1), backing.clone() as Arc<dyn ObjectStore>);
+    materialize(&layout, &placement, &stores, spec.fill()).expect("materialize");
+    let flaky = Arc::new(FlakyStore::new(
+        backing,
+        FaultMode::Random { probability: 0.2 },
+        2011,
+    ));
+
+    let mut fabric = DataFabric::new();
+    fabric.set_path(LocationId(0), LocationId(1), flaky.clone());
+    fabric.set_path(LocationId(1), LocationId(1), flaky.clone());
+    let deployment = Deployment::new(
+        vec![
+            ClusterSpec::new("local", LocationId(0), 2),
+            ClusterSpec::new("EC2", LocationId(1), 2),
+        ],
+        fabric,
+    );
+
+    let app = BatchKnnApp::new(spec.dim, 5);
+    let params = BatchQueries {
+        queries: vec![
+            vec![0.1, 0.1, 0.1],
+            vec![0.5, 0.5, 0.5],
+            vec![0.9, 0.2, 0.7],
+        ],
+    };
+
+    // Attempt 1: no retries — expected to fail loudly.
+    let fragile = RuntimeConfig {
+        retrieval_retries: 0,
+        ..Default::default()
+    };
+    match run(&app, &params, &layout, &placement, &deployment, &fragile) {
+        Err(e) => println!("without retries, the run fails as it should:\n  {e}\n"),
+        Ok(_) => println!("(got lucky — every GET happened to succeed)\n"),
+    }
+    let after_first = flaky.injected_failures();
+
+    // Attempt 2: a production retry policy — completes correctly.
+    let robust = RuntimeConfig {
+        retrieval_retries: 8,
+        retrieval_backoff: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let out = run(&app, &params, &layout, &placement, &deployment, &robust)
+        .expect("retries should absorb 20% transient failures");
+    println!(
+        "with retries: processed {} jobs despite {} injected faults",
+        out.report.total_jobs(),
+        flaky.injected_failures() - after_first,
+    );
+    for (qi, result) in out.result.into_sorted().into_iter().enumerate() {
+        let (d2, id) = result[0];
+        println!("  query {qi}: nearest id {id} at distance² {d2:.6}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Iterative k-means clustering with cloud bursting — the paper's
+//! compute-bound application. Each pass is one framework run; the driver
+//! recomputes centroids between passes and stops at convergence.
+//!
+//! ```text
+//! cargo run -p cb-apps --release --example kmeans_clustering
+//! ```
+
+use cb_apps::gen::{PointMode, PointsSpec};
+use cb_apps::kmeans::{centroid_shift, next_centroids, Centroids, KMeansApp};
+use cb_apps::scenario::{build_hybrid, HybridOpts};
+use cloudburst_core::config::RuntimeConfig;
+use cloudburst_core::runtime::run;
+
+fn main() {
+    const K: usize = 4;
+    let spec = PointsSpec {
+        n_files: 8,
+        points_per_file: 25_000,
+        points_per_chunk: 2_500,
+        dim: 3,
+        seed: 42,
+        mode: PointMode::Blobs {
+            centers: K,
+            spread: 0.3,
+        },
+    };
+    let app = KMeansApp::new(spec.dim, K);
+
+    // Data skewed toward the cloud (33/67), compute split evenly — the
+    // paper's env-33/67.
+    let env = build_hybrid(
+        spec.layout(),
+        spec.fill(),
+        HybridOpts {
+            frac_local: 0.33,
+            local_cores: 3,
+            cloud_cores: 3,
+            throttle: None,
+        },
+    )
+    .expect("environment");
+
+    // Start from perturbed blob centers.
+    let mut params = Centroids::new(
+        spec.dim,
+        (0..K)
+            .flat_map(|c| {
+                PointsSpec::blob_center(spec.seed, c, spec.dim)
+                    .into_iter()
+                    .map(|x| x + 1.5)
+            })
+            .collect(),
+    );
+
+    println!("iter  shift          time(s)  jobs(local/EC2)  stolen");
+    for iter in 1..=20 {
+        let out = run(
+            &app,
+            &params,
+            &env.layout,
+            &env.placement,
+            &env.deployment,
+            &RuntimeConfig::default(),
+        )
+        .expect("run");
+        let next = next_centroids(&app, &out.result, &params);
+        let shift = centroid_shift(&params, &next);
+        let local = out.report.cluster("local").unwrap();
+        let ec2 = out.report.cluster("EC2").unwrap();
+        println!(
+            "{iter:>4}  {shift:<13.6e}  {:>7.3}  {:>7}/{:<7}  {:>6}",
+            out.report.total_s,
+            local.jobs_processed,
+            ec2.jobs_processed,
+            out.report.total_stolen(),
+        );
+        params = next;
+        if shift < 1e-9 {
+            println!("converged after {iter} iterations");
+            break;
+        }
+    }
+
+    println!("\nfinal centroids vs generating blob centers:");
+    for c in 0..K {
+        let got = params.centroid(c);
+        // Match each centroid to its closest generating center.
+        let (best, dist) = (0..K)
+            .map(|b| {
+                let center = PointsSpec::blob_center(spec.seed, b, spec.dim);
+                let d: f64 = got
+                    .iter()
+                    .zip(&center)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                (b, d)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!(
+            "  centroid {c}: {:?} -> blob {best} (off by {dist:.4})",
+            got.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+}

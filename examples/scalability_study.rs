@@ -1,0 +1,94 @@
+//! Scalability study — the Fig. 4 experiment, both ways:
+//!
+//! 1. **Real runtime** at laptop scale: double the cores of a throttled
+//!    hybrid deployment and watch wall time fall.
+//! 2. **Discrete-event simulator** at full paper scale (120 GB, up to
+//!    32+32 cores): the per-doubling speedups of all three applications.
+//!
+//! ```text
+//! cargo run -p cb-apps --release --example scalability_study
+//! ```
+
+use cb_apps::gen::{PointMode, PointsSpec};
+use cb_apps::knn::{KnnApp, KnnQuery};
+use cb_apps::scenario::{build_hybrid, HybridOpts, ThrottleOpts};
+use cb_sim::calib::{App, NetConstants};
+use cb_sim::experiments::{run_fig4, DEFAULT_SEED};
+use cloudburst_core::config::RuntimeConfig;
+use cloudburst_core::runtime::run;
+
+fn main() {
+    real_runtime_sweep();
+    simulated_paper_scale_sweep();
+}
+
+/// Part 1: a real knn workload, all data "in S3", cores swept 1+1 → 4+4.
+fn real_runtime_sweep() {
+    println!("== real runtime: knn, all data in simulated S3 ==");
+    println!("cores(local,EC2)  total(s)  speedup vs previous");
+    let spec = PointsSpec {
+        n_files: 8,
+        points_per_file: 30_000,
+        points_per_chunk: 3_750,
+        dim: 4,
+        seed: 11,
+        mode: PointMode::Uniform,
+    };
+    let app = KnnApp::new(spec.dim, 10);
+    let query = KnnQuery {
+        query: vec![0.5; spec.dim],
+    };
+
+    let mut prev: Option<f64> = None;
+    for m in [1usize, 2, 4] {
+        let env = build_hybrid(
+            spec.layout(),
+            spec.fill(),
+            HybridOpts {
+                frac_local: 0.0,
+                local_cores: m,
+                cloud_cores: m,
+                throttle: Some(ThrottleOpts::scaled_default()),
+            },
+        )
+        .expect("environment");
+        let out = run(
+            &app,
+            &query,
+            &env.layout,
+            &env.placement,
+            &env.deployment,
+            &RuntimeConfig::default(),
+        )
+        .expect("run");
+        let speedup = prev
+            .map(|p| format!("{:+.1}%", (p / out.report.total_s - 1.0) * 100.0))
+            .unwrap_or_else(|| "-".into());
+        println!("({m:>2},{m:<2})           {:>7.3}  {speedup}", out.report.total_s);
+        prev = Some(out.report.total_s);
+    }
+}
+
+/// Part 2: the paper-scale sweep on the calibrated simulator.
+fn simulated_paper_scale_sweep() {
+    let net = NetConstants::default();
+    println!("\n== simulated at paper scale (120 GB, all data in S3) ==");
+    for app in App::ALL {
+        println!("\n{} :", app.name());
+        println!("  cores     total(s)   speedup/doubling");
+        for row in run_fig4(app, &net, DEFAULT_SEED) {
+            println!(
+                "  ({m:>2},{m:<2})  {:>10.1}   {}",
+                row.report.total_s,
+                row.speedup_pct
+                    .map(|s| format!("{s:.1}%"))
+                    .unwrap_or_else(|| "-".into()),
+                m = row.cores_each,
+            );
+        }
+    }
+    println!(
+        "\npaper reports 73–89% per doubling (avg 81%); pagerank scales worst \
+         because its ~300 MB reduction object is a fixed cost."
+    );
+}

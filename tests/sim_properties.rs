@@ -1,0 +1,241 @@
+//! Property-based tests of the discrete-event simulator and its substrate:
+//! determinism, conservation laws, and directional (monotonicity) checks.
+
+use cb_sim::calib::{self, App, NetConstants};
+use cb_sim::model::simulate;
+use cb_simnet::link::FairShareLink;
+use cb_simnet::time::{SimDur, SimTime};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Fair-share link laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All injected bytes are eventually delivered, none invented.
+    #[test]
+    fn link_conserves_bytes(
+        capacity in 1.0f64..1e6,
+        flows in prop::collection::vec((1u64..100_000, 0u64..5_000), 1..20),
+    ) {
+        let mut link = FairShareLink::with_capacity(capacity);
+        let mut now = SimTime::ZERO;
+        let mut total = 0u64;
+        for (bytes, gap_ms) in &flows {
+            now += SimDur::from_millis(*gap_ms);
+            link.start_flow(now, *bytes, 0);
+            total += bytes;
+        }
+        let mut completed = 0usize;
+        let mut guard = 0;
+        while let Some(t) = link.next_completion() {
+            completed += link.poll_completed(t).len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "completion loop did not converge");
+        }
+        prop_assert_eq!(completed, flows.len());
+        prop_assert!((link.bytes_delivered() - total as f64).abs() < flows.len() as f64);
+        prop_assert_eq!(link.active_flows(), 0);
+    }
+
+    /// Completion times are monotone in time (the next completion is never
+    /// earlier than the poll that produced it).
+    #[test]
+    fn link_completions_monotone(
+        flows in prop::collection::vec(1u64..10_000, 2..15),
+    ) {
+        let mut link = FairShareLink::with_capacity(1000.0);
+        for (i, bytes) in flows.iter().enumerate() {
+            link.start_flow(SimTime::ZERO, *bytes, i as u64);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(t) = link.next_completion() {
+            prop_assert!(t >= last, "completion time went backwards");
+            last = t;
+            link.poll_completed(t);
+        }
+    }
+
+    /// A single flow's duration equals bytes / min(capacity, cap).
+    #[test]
+    fn link_single_flow_rate_exact(
+        capacity in 1.0f64..1e6,
+        cap in 1.0f64..1e6,
+        bytes in 1u64..1_000_000,
+    ) {
+        let mut link = FairShareLink::with_capacity(capacity);
+        link.start_flow_capped(SimTime::ZERO, bytes, cap, 0);
+        let t = link.next_completion().unwrap();
+        let expect = bytes as f64 / capacity.min(cap);
+        let got = t.as_secs_f64();
+        prop_assert!(
+            (got - expect).abs() <= expect * 1e-6 + 1e-6,
+            "expected {expect}, got {got}"
+        );
+    }
+
+    /// Allocated rates never exceed capacity.
+    #[test]
+    fn link_rates_within_capacity(
+        capacity in 10.0f64..1e5,
+        caps in prop::collection::vec(1.0f64..1e5, 1..20),
+    ) {
+        let mut link = FairShareLink::with_capacity(capacity);
+        let ids: Vec<_> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| link.start_flow_capped(SimTime::ZERO, 1_000_000, c, i as u64))
+            .collect();
+        let total: f64 = ids.iter().filter_map(|&id| link.flow_rate(id)).sum();
+        prop_assert!(total <= capacity * (1.0 + 1e-9), "total {total} > {capacity}");
+        // And no flow exceeds its own cap.
+        for (id, &cap) in ids.iter().zip(&caps) {
+            let r = link.flow_rate(*id).unwrap();
+            prop_assert!(r <= cap * (1.0 + 1e-9), "rate {r} > cap {cap}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-simulator laws (smaller case counts: each run is a full simulation)
+// ---------------------------------------------------------------------------
+
+fn quick_net() -> NetConstants {
+    NetConstants::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The simulator is a pure function of (params, seed).
+    #[test]
+    fn sim_deterministic(seed in 0u64..1_000, frac in 0.0f64..1.0) {
+        let env = calib::EnvSpec {
+            name: "prop".into(),
+            frac_local: frac,
+            local_cores: 4,
+            cloud_cores: 4,
+        };
+        let p1 = calib::build_params(App::Knn, &env, &quick_net(), seed);
+        let p2 = calib::build_params(App::Knn, &env, &quick_net(), seed);
+        let a = simulate(p1).unwrap();
+        let b = simulate(p2).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Conservation: jobs and bytes, for any placement fraction and seed.
+    #[test]
+    fn sim_conserves_jobs_and_bytes(seed in 0u64..1_000, frac in 0.0f64..1.0) {
+        let env = calib::EnvSpec {
+            name: "prop".into(),
+            frac_local: frac,
+            local_cores: 3,
+            cloud_cores: 5,
+        };
+        let params = calib::build_params(App::PageRank, &env, &quick_net(), seed);
+        let total_bytes = params.layout.total_bytes();
+        let n_jobs = params.layout.n_jobs() as u64;
+        let r = simulate(params).unwrap();
+        prop_assert_eq!(r.total_jobs(), n_jobs);
+        let moved: u64 = r.clusters.iter().map(|c| c.bytes_local + c.bytes_remote).sum();
+        prop_assert_eq!(moved, total_bytes);
+        // Breakdown identity per cluster.
+        for c in &r.clusters {
+            let sum = c.processing_s + c.retrieval_s + c.sync_s;
+            prop_assert!((sum - c.wall_s).abs() < 1e-6);
+            prop_assert!(c.wall_s <= r.total_s + 1e-9);
+            prop_assert!(c.idle_end_s >= 0.0);
+        }
+    }
+
+    /// More cores never slow a run down (same seed, same data).
+    #[test]
+    fn sim_monotone_in_cores(seed in 0u64..100) {
+        let net = quick_net();
+        let small = simulate(calib::build_fig4_params(App::KMeans, 4, &net, seed)).unwrap();
+        let big = simulate(calib::build_fig4_params(App::KMeans, 8, &net, seed)).unwrap();
+        prop_assert!(
+            big.total_s < small.total_s,
+            "8+8 cores ({}) not faster than 4+4 ({})",
+            big.total_s,
+            small.total_s
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic directional checks at paper scale
+// ---------------------------------------------------------------------------
+
+/// Retrieval burden shifts to the WAN as data skews to the cloud.
+#[test]
+fn local_retrieval_grows_with_skew() {
+    let net = quick_net();
+    let mut prev = 0.0;
+    for frac in [0.5, 0.33, 0.17] {
+        let env = calib::EnvSpec {
+            name: format!("{frac}"),
+            frac_local: frac,
+            local_cores: 16,
+            cloud_cores: 16,
+        };
+        let r = simulate(calib::build_params(App::Knn, &env, &net, 1)).unwrap();
+        let retr = r.cluster("local").unwrap().retrieval_s;
+        assert!(
+            retr > prev,
+            "local retrieval must grow as data moves to S3: {retr} after {prev}"
+        );
+        prev = retr;
+    }
+}
+
+/// The cloud-bursting headline: hybrid slowdown stays moderate.
+#[test]
+fn average_slowdown_is_moderate() {
+    let pct = cb_sim::experiments::average_slowdown_pct(&quick_net(), 2011);
+    assert!(
+        (2.0..35.0).contains(&pct),
+        "average hybrid slowdown should be paper-like (got {pct}%)"
+    );
+}
+
+/// Scalability headline: speedups per doubling are substantial.
+#[test]
+fn average_speedup_is_substantial() {
+    let pct = cb_sim::experiments::average_speedup_pct(&quick_net(), 2011);
+    assert!(
+        (60.0..105.0).contains(&pct),
+        "average speedup per doubling should be paper-like (got {pct}%)"
+    );
+}
+
+/// Stealing pays off under skew. At 50/50 a tail-end steal over the slow
+/// WAN can cost slightly more than idling — the paper saw the same effect
+/// ("the total slowdown is smaller than the idle time ... the systems
+/// cannot steal jobs; thus the idle time might be maximized and total job
+/// processing time is minimized") — so near balance we only require
+/// near-parity, while under skew stealing must win outright.
+#[test]
+fn stealing_pays_off_under_skew() {
+    let net = quick_net();
+    for (frac, max_ratio) in [(0.5, 1.05), (0.33, 1.0), (0.17, 0.95)] {
+        let env = calib::EnvSpec {
+            name: format!("{frac}"),
+            frac_local: frac,
+            local_cores: 16,
+            cloud_cores: 16,
+        };
+        let on = simulate(calib::build_params(App::Knn, &env, &net, 1)).unwrap();
+        let mut p = calib::build_params(App::Knn, &env, &net, 1);
+        p.pool.allow_stealing = false;
+        let off = simulate(p).unwrap();
+        assert!(
+            on.total_s <= off.total_s * max_ratio,
+            "frac={frac}: stealing-on {} vs off {} (allowed ratio {max_ratio})",
+            on.total_s,
+            off.total_s
+        );
+    }
+}
