@@ -165,11 +165,7 @@ impl GRApp for BatchKnnApp {
 
 /// Brute-force reference: the k nearest of `points` (by index-as-id) to
 /// `query`. Returns ascending `(dist2, id)`.
-pub fn knn_reference(
-    points: &[(u64, Vec<f32>)],
-    query: &[f32],
-    k: usize,
-) -> Vec<(f64, u64)> {
+pub fn knn_reference(points: &[(u64, Vec<f32>)], query: &[f32], k: usize) -> Vec<(f64, u64)> {
     let mut all: Vec<(f64, u64)> = points
         .iter()
         .map(|(id, p)| (points::dist2(p, query), *id))
@@ -237,10 +233,7 @@ mod tests {
         let dim = 2;
         let f0 = chunk_meta(0, 0, 0, 1, dim);
         let f1 = chunk_meta(1, 1, 0, 1, dim);
-        assert_ne!(
-            KnnApp::unit_id(&f0, dim, 0),
-            KnnApp::unit_id(&f1, dim, 0)
-        );
+        assert_ne!(KnnApp::unit_id(&f0, dim, 0), KnnApp::unit_id(&f1, dim, 0));
     }
 
     #[test]

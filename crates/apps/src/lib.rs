@@ -29,8 +29,8 @@
 pub mod gen;
 pub mod kmeans;
 pub mod knn;
-pub mod pagerank;
 pub mod mr_adapters;
+pub mod pagerank;
 pub mod points;
 pub mod sample;
 pub mod scenario;

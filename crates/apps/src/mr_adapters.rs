@@ -139,7 +139,10 @@ mod tests {
         for (c, centroid) in out {
             let exp = expect.centroid(c as usize);
             for (g, e) in centroid.iter().zip(exp) {
-                assert!((g - e).abs() < 1e-12, "cluster {c}: {centroid:?} vs {exp:?}");
+                assert!(
+                    (g - e).abs() < 1e-12,
+                    "cluster {c}: {centroid:?} vs {exp:?}"
+                );
             }
         }
     }

@@ -14,11 +14,7 @@ pub fn unit_bytes(dim: usize) -> u64 {
 /// line up — generation bugs should fail fast.
 pub fn encode_into(points: &[f32], dim: usize, buf: &mut [u8]) {
     assert_eq!(points.len() % dim, 0, "ragged point array");
-    assert_eq!(
-        buf.len(),
-        points.len() * 4,
-        "buffer/points size mismatch"
-    );
+    assert_eq!(buf.len(), points.len() * 4, "buffer/points size mismatch");
     for (src, dst) in points.iter().zip(buf.chunks_exact_mut(4)) {
         dst.copy_from_slice(&src.to_le_bytes());
     }

@@ -93,7 +93,11 @@ pub struct HybridOpts {
 
 /// Materialize `layout` with `fill` into a two-site environment and wire the
 /// deployment the paper's experiments use.
-pub fn build_hybrid<F>(layout: DatasetLayout, mut fill: F, opts: HybridOpts) -> io::Result<HybridEnv>
+pub fn build_hybrid<F>(
+    layout: DatasetLayout,
+    mut fill: F,
+    opts: HybridOpts,
+) -> io::Result<HybridEnv>
 where
     F: FnMut(&ChunkMeta, &mut [u8]),
 {

@@ -45,12 +45,7 @@ impl GRApp for StatsApp {
         )
     }
 
-    fn local_reduce(
-        &self,
-        _q: &StatsQuery,
-        robj: &mut (Moments, Histogram, MinMax),
-        unit: &f64,
-    ) {
+    fn local_reduce(&self, _q: &StatsQuery, robj: &mut (Moments, Histogram, MinMax), unit: &f64) {
         robj.0.observe(*unit);
         robj.1.observe(*unit);
         // MinMax is integer-domain; readings are observed at millisecond
@@ -100,8 +95,7 @@ mod tests {
     fn one_pass_gets_all_three_statistics() {
         let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         let (meta, bytes) = chunk(&vals);
-        let (moments, hist, minmax) =
-            run_sequential(&StatsApp, &query(), vec![(meta, bytes)]);
+        let (moments, hist, minmax) = run_sequential(&StatsApp, &query(), vec![(meta, bytes)]);
         assert_eq!(moments.count(), 8);
         assert!((moments.mean() - 5.0).abs() < 1e-12);
         assert!((moments.variance() - 32.0 / 7.0).abs() < 1e-9);

@@ -27,7 +27,9 @@ fn bench_local_reduce(c: &mut Criterion) {
     };
     let layout = spec.layout();
     let knn = KnnApp::new(4, 1000);
-    let query = KnnQuery { query: vec![0.5; 4] };
+    let query = KnnQuery {
+        query: vec![0.5; 4],
+    };
     let mut buf = vec![0u8; layout.chunks[0].len as usize];
     (spec.fill())(&layout.chunks[0], &mut buf);
     let units = knn.decode_chunk(&layout.chunks[0], &buf);

@@ -71,5 +71,10 @@ fn bench_index_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parallel_retrieval, bench_memstore, bench_index_roundtrip);
+criterion_group!(
+    benches,
+    bench_parallel_retrieval,
+    bench_memstore,
+    bench_index_roundtrip
+);
 criterion_main!(benches);

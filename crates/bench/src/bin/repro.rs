@@ -11,8 +11,8 @@
 //! Experiments: `fig1`, `fig3a`, `fig3b`, `fig3c`, `table1`, `table2`,
 //! `fig4a`, `fig4b`, `fig4c`, `headline`, `ablate-consecutive`,
 //! `ablate-contention`, `ablate-stealing`, `ablate-retrieval`,
-//! `ablate-jitter`, `ablate-prefetch`, `multicloud`, `sweep-wan`,
-//! `sweep-robj`, `seeds`, `timeline`, `all`. Figures 3–4 and the tables run on the calibrated
+//! `ablate-jitter`, `ablate-prefetch`, `ablate-failures`, `multicloud`,
+//! `sweep-wan`, `sweep-robj`, `seeds`, `timeline`, `all`. Figures 3–4 and the tables run on the calibrated
 //! discrete-event simulator at full paper scale (120 GB / 960 jobs); fig1
 //! runs real code on real data. Simulated numbers are printed next to the
 //! paper's where the paper reports them.
@@ -33,9 +33,29 @@ fn main() {
     let net = NetConstants::default();
 
     let known: &[&str] = &[
-        "fig1", "fig3a", "fig3b", "fig3c", "table1", "table2", "fig4a", "fig4b", "fig4c",
-        "headline", "ablate-consecutive", "ablate-contention", "ablate-stealing",
-        "ablate-retrieval", "ablate-jitter", "ablate-prefetch", "multicloud", "sweep-wan", "sweep-robj", "seeds", "timeline", "all",
+        "fig1",
+        "fig3a",
+        "fig3b",
+        "fig3c",
+        "table1",
+        "table2",
+        "fig4a",
+        "fig4b",
+        "fig4c",
+        "headline",
+        "ablate-consecutive",
+        "ablate-contention",
+        "ablate-stealing",
+        "ablate-retrieval",
+        "ablate-jitter",
+        "ablate-prefetch",
+        "ablate-failures",
+        "multicloud",
+        "sweep-wan",
+        "sweep-robj",
+        "seeds",
+        "timeline",
+        "all",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment `{what}`; one of: {}", known.join(" "));
@@ -47,7 +67,11 @@ fn main() {
     if run("fig1") {
         print_fig1();
     }
-    for (name, app) in [("fig3a", App::Knn), ("fig3b", App::KMeans), ("fig3c", App::PageRank)] {
+    for (name, app) in [
+        ("fig3a", App::Knn),
+        ("fig3b", App::KMeans),
+        ("fig3c", App::PageRank),
+    ] {
         if run(name) {
             print_fig3(name, app, &net);
         }
@@ -58,7 +82,11 @@ fn main() {
     if run("table2") {
         print_table2(&net);
     }
-    for (name, app) in [("fig4a", App::Knn), ("fig4b", App::KMeans), ("fig4c", App::PageRank)] {
+    for (name, app) in [
+        ("fig4a", App::Knn),
+        ("fig4b", App::KMeans),
+        ("fig4c", App::PageRank),
+    ] {
         if run(name) {
             print_fig4(name, app, &net);
         }
@@ -117,6 +145,9 @@ fn main() {
             experiments::ablate_jitter(&net, DEFAULT_SEED),
         );
     }
+    if run("ablate-failures") {
+        print_failure_ablation(&net);
+    }
 
     if let Some(dir) = json_dir {
         write_json(&dir, what, &net);
@@ -133,13 +164,21 @@ fn write_json(dir: &std::path::Path, what: &str, net: &NetConstants) {
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("wrote {}", path.display());
     };
-    for (name, app) in [("fig3a", App::Knn), ("fig3b", App::KMeans), ("fig3c", App::PageRank)] {
+    for (name, app) in [
+        ("fig3a", App::Knn),
+        ("fig3b", App::KMeans),
+        ("fig3c", App::PageRank),
+    ] {
         if run(name) {
             let rows = experiments::run_fig3(app, net, DEFAULT_SEED);
             write(name, serde_json::to_value(&rows).unwrap());
         }
     }
-    for (name, app) in [("fig4a", App::Knn), ("fig4b", App::KMeans), ("fig4c", App::PageRank)] {
+    for (name, app) in [
+        ("fig4a", App::Knn),
+        ("fig4b", App::KMeans),
+        ("fig4c", App::PageRank),
+    ] {
         if run(name) {
             let rows = experiments::run_fig4(app, net, DEFAULT_SEED);
             write(name, serde_json::to_value(&rows).unwrap());
@@ -183,6 +222,10 @@ fn write_json(dir: &std::path::Path, what: &str, net: &NetConstants) {
         let rows = experiments::run_multicloud(App::Knn, net, DEFAULT_SEED);
         write("multicloud", serde_json::to_value(&rows).unwrap());
     }
+    if run("ablate-failures") {
+        let rows = experiments::ablate_failures(net, DEFAULT_SEED);
+        write("ablate-failures", serde_json::to_value(&rows).unwrap());
+    }
 }
 
 fn banner(title: &str) {
@@ -209,7 +252,14 @@ fn print_fig1() {
     print!(
         "{}",
         table(
-            &["workload", "api", "wall(s)", "shuffled pairs", "peak buffered", "state bytes"],
+            &[
+                "workload",
+                "api",
+                "wall(s)",
+                "shuffled pairs",
+                "peak buffered",
+                "state bytes"
+            ],
             &table_rows
         )
     );
@@ -273,7 +323,13 @@ fn print_table1(net: &NetConstants) {
     print!(
         "{}",
         table(
-            &["app", "env", "EC2 jobs (sim|paper)", "local jobs (sim|paper)", "stolen (sim|paper)"],
+            &[
+                "app",
+                "env",
+                "EC2 jobs (sim|paper)",
+                "local jobs (sim|paper)",
+                "stolen (sim|paper)"
+            ],
             &rows
         )
     );
@@ -305,7 +361,15 @@ fn print_table2(net: &NetConstants) {
     print!(
         "{}",
         table(
-            &["app", "env", "glob.red (sim|paper)", "idle local", "idle EC2", "slowdown(s)", "ratio"],
+            &[
+                "app",
+                "env",
+                "glob.red (sim|paper)",
+                "idle local",
+                "idle EC2",
+                "slowdown(s)",
+                "ratio"
+            ],
             &rows
         )
     );
@@ -333,15 +397,28 @@ fn print_fig4(name: &str, app: App, net: &NetConstants) {
                 s2(r.report.total_s),
                 local.map(|c| s2(c.retrieval_s)).unwrap_or_default(),
                 ec2.map(|c| s2(c.retrieval_s)).unwrap_or_default(),
-                r.speedup_pct.map(|s| format!("{s:.1}%")).unwrap_or_else(|| "-".into()),
-                if i > 0 { format!("{:.1}%", paper[i - 1]) } else { "-".into() },
+                r.speedup_pct
+                    .map(|s| format!("{s:.1}%"))
+                    .unwrap_or_else(|| "-".into()),
+                if i > 0 {
+                    format!("{:.1}%", paper[i - 1])
+                } else {
+                    "-".into()
+                },
             ]
         })
         .collect();
     print!(
         "{}",
         table(
-            &["cores", "total(s)", "retr local(s)", "retr EC2(s)", "speedup sim", "speedup paper"],
+            &[
+                "cores",
+                "total(s)",
+                "retr local(s)",
+                "retr EC2(s)",
+                "speedup sim",
+                "speedup paper"
+            ],
             &t
         )
     );
@@ -381,10 +458,52 @@ fn print_ablation(title: &str, rows: Vec<experiments::AblationRow>) {
     print!(
         "{}",
         table(
-            &["variant", "total(s)", "retr local(s)", "retr EC2(s)", "max idle(s)", "stolen"],
+            &[
+                "variant",
+                "total(s)",
+                "retr local(s)",
+                "retr EC2(s)",
+                "max idle(s)",
+                "stolen"
+            ],
             &t
         )
     );
+}
+
+fn print_failure_ablation(net: &NetConstants) {
+    banner("ablate-failures — recovery cost under escalating fault schedules (knn, env-50/50)");
+    let rows = experiments::ablate_failures(net, DEFAULT_SEED);
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                s2(r.total_s),
+                format!("{:.1}%", r.penalty_pct),
+                r.fetch_failures.to_string(),
+                r.jobs_reenqueued.to_string(),
+                r.slaves_killed.to_string(),
+                r.local_stolen.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        table(
+            &[
+                "fault schedule",
+                "total(s)",
+                "penalty",
+                "fetch fails",
+                "re-enqueued",
+                "killed",
+                "local stolen"
+            ],
+            &t
+        )
+    );
+    println!("the GR recovery model in action: failures cost re-execution time, never results.");
 }
 
 fn print_multicloud(net: &NetConstants) {
@@ -407,13 +526,25 @@ fn print_multicloud(net: &NetConstants) {
         .collect();
     print!(
         "{}",
-        table(&["data split", "cluster", "jobs", "stolen", "retr(s)", "total(s)"], &t)
+        table(
+            &[
+                "data split",
+                "cluster",
+                "jobs",
+                "stolen",
+                "retr(s)",
+                "total(s)"
+            ],
+            &t
+        )
     );
     println!("the middleware is provider-count agnostic: three sites, one job pool.");
 }
 
 fn print_wan_sweep(net: &NetConstants) {
-    banner("sweep-wan — dedicated high-speed WAN collapses the bursting penalty (pagerank, env-17/83)");
+    banner(
+        "sweep-wan — dedicated high-speed WAN collapses the bursting penalty (pagerank, env-17/83)",
+    );
     let rows = experiments::sweep_wan(App::PageRank, net, DEFAULT_SEED);
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -428,12 +559,22 @@ fn print_wan_sweep(net: &NetConstants) {
         .collect();
     print!(
         "{}",
-        table(&["WAN capacity", "total(s)", "slowdown vs env-local", "global red(s)"], &t)
+        table(
+            &[
+                "WAN capacity",
+                "total(s)",
+                "slowdown vs env-local",
+                "global red(s)"
+            ],
+            &t
+        )
     );
 }
 
 fn print_robj_sweep(net: &NetConstants) {
-    banner("sweep-robj — reduction-object size vs bursting feasibility (pagerank profile, env-50/50)");
+    banner(
+        "sweep-robj — reduction-object size vs bursting feasibility (pagerank profile, env-50/50)",
+    );
     let rows = experiments::sweep_robj(net, DEFAULT_SEED);
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -450,15 +591,25 @@ fn print_robj_sweep(net: &NetConstants) {
     print!(
         "{}",
         table(
-            &["robj size", "total(s)", "global red(s)", "share of run", "slowdown vs env-local"],
+            &[
+                "robj size",
+                "total(s)",
+                "global red(s)",
+                "share of run",
+                "slowdown vs env-local"
+            ],
             &t
         )
     );
-    println!("the paper's conclusion quantified: bursting stays cheap until the robj rivals the data.");
+    println!(
+        "the paper's conclusion quantified: bursting stays cheap until the robj rivals the data."
+    );
 }
 
 fn print_seed_spread(net: &NetConstants) {
-    banner("seeds — run-to-run spread under EC2 jitter (knn, 5 seeds per env; paper kept best of >=3)");
+    banner(
+        "seeds — run-to-run spread under EC2 jitter (knn, 5 seeds per env; paper kept best of >=3)",
+    );
     let rows = experiments::seed_sensitivity(App::Knn, net, 5);
     let t: Vec<Vec<String>> = rows
         .iter()
@@ -472,7 +623,10 @@ fn print_seed_spread(net: &NetConstants) {
             ]
         })
         .collect();
-    print!("{}", table(&["env", "min(s)", "mean(s)", "max(s)", "cv"], &t));
+    print!(
+        "{}",
+        table(&["env", "min(s)", "mean(s)", "max(s)", "cv"], &t)
+    );
     println!("pool-based balancing keeps the spread tight even with jittery instances.");
 }
 

@@ -52,7 +52,10 @@ fn points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
 /// Run the wordcount comparison over `n_words` words in `splits` splits.
 pub fn wordcount_comparison(n_words: usize, splits: usize) -> Vec<Fig1Row> {
     let all = words(n_words, 50_000, 42);
-    let split_vecs: Vec<Vec<u64>> = all.chunks(n_words.div_ceil(splits)).map(|c| c.to_vec()).collect();
+    let split_vecs: Vec<Vec<u64>> = all
+        .chunks(n_words.div_ceil(splits))
+        .map(|c| c.to_vec())
+        .collect();
     let mut rows = Vec::new();
 
     // MapReduce, no combiner.
@@ -120,7 +123,11 @@ pub fn kmeans_comparison(n_points: usize, dim: usize, k: usize, splits: usize) -
     let pts = points(n_points, dim, 7);
     let centroids = Centroids::new(
         dim,
-        points(k, dim, 8).into_iter().flatten().map(|x| x as f64).collect(),
+        points(k, dim, 8)
+            .into_iter()
+            .flatten()
+            .map(|x| x as f64)
+            .collect(),
     );
     let split_vecs: Vec<Vec<Vec<f32>>> = pts
         .chunks(n_points.div_ceil(splits))

@@ -100,7 +100,14 @@ mod tests {
 
     #[test]
     fn flags_and_positionals() {
-        let a = parse(&["organize", "--store", "/tmp/x", "--chunk-bytes", "4096", "extra"]);
+        let a = parse(&[
+            "organize",
+            "--store",
+            "/tmp/x",
+            "--chunk-bytes",
+            "4096",
+            "extra",
+        ]);
         assert_eq!(a.positional(), &["organize", "extra"]);
         assert_eq!(a.get("store"), Some("/tmp/x"));
         assert_eq!(a.get_or("chunk-bytes", 0u64).unwrap(), 4096);

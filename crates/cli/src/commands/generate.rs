@@ -17,7 +17,15 @@ pub const USAGE: &str = "cloudburst generate --kind points|graph|words --out <di
 
 pub fn run(args: &Args) -> Result<String, CmdError> {
     args.check_known(&[
-        "kind", "out", "files", "per-file", "per-chunk", "dim", "pages", "vocab", "seed",
+        "kind",
+        "out",
+        "files",
+        "per-file",
+        "per-chunk",
+        "dim",
+        "pages",
+        "vocab",
+        "seed",
     ])?;
     let kind = args.require("kind")?;
     let out = args.require("out")?.to_owned();
@@ -44,7 +52,10 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
             let layout = spec.layout();
             let placement = Placement::all_at(files, LocationId(0));
             materialize(&layout, &placement, &stores, spec.fill())?;
-            (layout, format!("{}x{} uniform {dim}-d points", files, per_file))
+            (
+                layout,
+                format!("{}x{} uniform {dim}-d points", files, per_file),
+            )
         }
         "graph" => {
             let pages: u32 = args.get_or("pages", 10_000)?;
@@ -58,7 +69,10 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
             let layout = spec.layout();
             let placement = Placement::all_at(files, LocationId(0));
             materialize(&layout, &placement, &stores, spec.fill())?;
-            (layout, format!("{} edges over {pages} pages", spec.n_edges()))
+            (
+                layout,
+                format!("{} edges over {pages} pages", spec.n_edges()),
+            )
         }
         "words" => {
             let vocab: u64 = args.get_or("vocab", 10_000)?;

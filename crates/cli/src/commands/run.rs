@@ -27,11 +27,47 @@ use std::sync::Arc;
 
 pub const USAGE: &str = "cloudburst run --app wordcount|knn|selection|pagerank \
 --index <file> --data <dir> [--data2 <dir>] [--frac-local <0..1>] [--cores <n>] \
-[--cores2 <n>] [--dim <d>] [--k <n>] [--passes <n>]";
+[--cores2 <n>] [--dim <d>] [--k <n>] [--passes <n>] [--fault-rate <0..1>] \
+[--kill-slave <cluster:slave:after_jobs>[,..]]";
+
+/// Parse a `--kill-slave` list: `cluster:slave:after_jobs`, comma-separated.
+pub(crate) fn parse_kill_schedule(
+    spec: &str,
+) -> Result<Vec<cloudburst_core::config::SlaveKill>, CmdError> {
+    spec.split(',')
+        .map(|item| {
+            let parts: Vec<&str> = item.split(':').collect();
+            let err = || {
+                CmdError::Other(format!(
+                    "--kill-slave: expected cluster:slave:after_jobs, got {item:?}"
+                ))
+            };
+            if parts.len() != 3 {
+                return Err(err());
+            }
+            Ok(cloudburst_core::config::SlaveKill {
+                cluster: parts[0].parse().map_err(|_| err())?,
+                slave: parts[1].parse().map_err(|_| err())?,
+                after_jobs: parts[2].parse().map_err(|_| err())?,
+            })
+        })
+        .collect()
+}
 
 pub fn run(args: &Args) -> Result<String, CmdError> {
     args.check_known(&[
-        "app", "index", "data", "data2", "frac-local", "cores", "cores2", "dim", "k", "passes",
+        "app",
+        "index",
+        "data",
+        "data2",
+        "frac-local",
+        "cores",
+        "cores2",
+        "dim",
+        "k",
+        "passes",
+        "fault-rate",
+        "kill-slave",
     ])?;
     let app_name = args.require("app")?;
     let index_path = args.require("index")?;
@@ -43,21 +79,52 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
 
     let site0 = LocationId(0);
     let mut stores: StoreMap = BTreeMap::new();
-    stores.insert(site0, Arc::new(DiskStore::open("site0", data)?) as Arc<dyn ObjectStore>);
+    stores.insert(
+        site0,
+        Arc::new(DiskStore::open("site0", data)?) as Arc<dyn ObjectStore>,
+    );
 
     let mut clusters = vec![ClusterSpec::new("local", site0, cores)];
     let placement = if let Some(data2) = args.get("data2") {
         let site1 = LocationId(1);
         let frac: f64 = args.get_or("frac-local", 0.5)?;
         let cores2: usize = args.get_or("cores2", cores)?;
-        stores.insert(site1, Arc::new(DiskStore::open("site1", data2)?) as Arc<dyn ObjectStore>);
+        stores.insert(
+            site1,
+            Arc::new(DiskStore::open("site1", data2)?) as Arc<dyn ObjectStore>,
+        );
         clusters.push(ClusterSpec::new("remote", site1, cores2));
         Placement::split_fraction(layout.files.len(), frac, site0, site1)
     } else {
         Placement::all_at(layout.files.len(), site0)
     };
-    let deployment = Deployment::new(clusters, DataFabric::direct(&stores));
-    let cfg = RuntimeConfig::default();
+    let mut deployment = Deployment::new(clusters, DataFabric::direct(&stores));
+
+    // Fault injection: drop a fraction of GETs on every path, so the
+    // retry/re-enqueue machinery is exercised against real disk stores.
+    let fault_rate: f64 = args.get_or("fault-rate", 0.0)?;
+    if !(0.0..1.0).contains(&fault_rate) {
+        return Err(CmdError::Other("--fault-rate must be in [0, 1)".into()));
+    }
+    if fault_rate > 0.0 {
+        use cb_storage::faults::{FaultMode, FlakyStore};
+        for &site in stores.keys() {
+            deployment.fabric.wrap_paths_to(site, |s| {
+                Arc::new(FlakyStore::new(
+                    s,
+                    FaultMode::Random {
+                        probability: fault_rate,
+                    },
+                    2011,
+                ))
+            });
+        }
+    }
+
+    let mut cfg = RuntimeConfig::default();
+    if let Some(spec) = args.get("kill-slave") {
+        cfg.kill_schedule = parse_kill_schedule(spec)?;
+    }
 
     let mut s = String::new();
     match app_name {
@@ -153,8 +220,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
                     break;
                 }
             }
-            let mut top: Vec<(usize, f64)> =
-                params.ranks.iter().copied().enumerate().collect();
+            let mut top: Vec<(usize, f64)> = params.ranks.iter().copied().enumerate().collect();
             top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             for (page, rank) in top.into_iter().take(5) {
                 let _ = writeln!(s, "  page {page:>8}  rank {rank:.6}");

@@ -11,7 +11,8 @@ use std::fmt::Write as _;
 
 pub const USAGE: &str = "cloudburst simulate --app knn|kmeans|pagerank \
 [--env local|cloud|50/50|33/67|17/83] [--seed <n>] [--timeline true] \
-[--wan-mult <x>] | --config <scenario.json>";
+[--wan-mult <x>] [--fault-rate <0..1>] \
+[--kill-slave <cluster:slave:after_jobs>[,..]] | --config <scenario.json>";
 
 /// A custom scenario file: every field optional except `app`.
 ///
@@ -66,8 +67,8 @@ fn default_mult() -> f64 {
 /// Run a scenario file.
 fn run_config(path: &str) -> Result<String, CmdError> {
     let text = std::fs::read_to_string(path)?;
-    let sc: Scenario = serde_json::from_str(&text)
-        .map_err(|e| CmdError::Other(format!("{path}: {e}")))?;
+    let sc: Scenario =
+        serde_json::from_str(&text).map_err(|e| CmdError::Other(format!("{path}: {e}")))?;
     let app = parse_app(&sc.app)?;
 
     let mut net = NetConstants::default();
@@ -76,7 +77,11 @@ fn run_config(path: &str) -> Result<String, CmdError> {
     net.robj_conn_bps *= sc.wan_multiplier;
 
     let env = calib::EnvSpec {
-        name: format!("custom-{:.0}/{:.0}", sc.frac_local * 100.0, (1.0 - sc.frac_local) * 100.0),
+        name: format!(
+            "custom-{:.0}/{:.0}",
+            sc.frac_local * 100.0,
+            (1.0 - sc.frac_local) * 100.0
+        ),
         frac_local: sc.frac_local,
         local_cores: sc.local_cores,
         cloud_cores: sc.cloud_cores,
@@ -121,11 +126,24 @@ fn parse_app(name: &str) -> Result<App, CmdError> {
     App::ALL
         .into_iter()
         .find(|a| a.name() == name)
-        .ok_or_else(|| CmdError::Other(format!("unknown --app {name:?}; expected knn, kmeans, or pagerank")))
+        .ok_or_else(|| {
+            CmdError::Other(format!(
+                "unknown --app {name:?}; expected knn, kmeans, or pagerank"
+            ))
+        })
 }
 
 pub fn run(args: &Args) -> Result<String, CmdError> {
-    args.check_known(&["app", "env", "seed", "timeline", "wan-mult", "config"])?;
+    args.check_known(&[
+        "app",
+        "env",
+        "seed",
+        "timeline",
+        "wan-mult",
+        "config",
+        "fault-rate",
+        "kill-slave",
+    ])?;
     if let Some(path) = args.get("config") {
         return run_config(path);
     }
@@ -134,6 +152,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
     let seed: u64 = args.get_or("seed", 2011)?;
     let timeline: bool = args.get_or("timeline", false)?;
     let wan_mult: f64 = args.get_or("wan-mult", 1.0)?;
+    let fault_rate: f64 = args.get_or("fault-rate", 0.0)?;
 
     let envs = calib::fig3_envs(app);
     let env = envs
@@ -153,7 +172,11 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
     net.wan_bps *= wan_mult;
     net.wan_conn_bps *= wan_mult;
     net.robj_conn_bps *= wan_mult;
-    let params = calib::build_params(app, env, &net, seed);
+    let mut params = calib::build_params(app, env, &net, seed);
+    params.faults.fetch_failure_prob = fault_rate;
+    if let Some(spec) = args.get("kill-slave") {
+        params.faults.kill_schedule = crate::commands::run::parse_kill_schedule(spec)?;
+    }
 
     let mut s = String::new();
     let _ = writeln!(

@@ -22,7 +22,10 @@ fn run_ok(args: &[&str]) -> String {
 
 fn run_err(args: &[&str]) -> String {
     let out = bin().args(args).output().expect("spawn cloudburst");
-    assert!(!out.status.success(), "cloudburst {args:?} unexpectedly succeeded");
+    assert!(
+        !out.status.success(),
+        "cloudburst {args:?} unexpectedly succeeded"
+    );
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
 
@@ -40,15 +43,32 @@ fn full_workflow_generate_organize_inspect_run() {
 
     // generate a words dataset on disk
     let out = run_ok(&[
-        "generate", "--kind", "words", "--out", dir_s, "--files", "4", "--per-file", "5000",
-        "--per-chunk", "1000", "--vocab", "500",
+        "generate",
+        "--kind",
+        "words",
+        "--out",
+        dir_s,
+        "--files",
+        "4",
+        "--per-file",
+        "5000",
+        "--per-chunk",
+        "1000",
+        "--vocab",
+        "500",
     ]);
     assert!(out.contains("generated"), "{out}");
     assert!(out.contains("4 files / 20 chunks"), "{out}");
 
     // organize re-derives the same index from the raw files
     let reout = run_ok(&[
-        "organize", "--store", dir_s, "--unit-bytes", "8", "--chunk-bytes", "8000",
+        "organize",
+        "--store",
+        dir_s,
+        "--unit-bytes",
+        "8",
+        "--chunk-bytes",
+        "8000",
     ]);
     assert!(reout.contains("into 20 chunks"), "{reout}");
 
@@ -59,7 +79,15 @@ fn full_workflow_generate_organize_inspect_run() {
 
     // run wordcount over it
     let run_out = run_ok(&[
-        "run", "--app", "wordcount", "--index", &index, "--data", dir_s, "--cores", "2",
+        "run",
+        "--app",
+        "wordcount",
+        "--index",
+        &index,
+        "--data",
+        dir_s,
+        "--cores",
+        "2",
     ]);
     assert!(run_out.contains("distinct words"), "{run_out}");
     assert!(run_out.contains("jobs"), "{run_out}");
@@ -73,8 +101,19 @@ fn knn_run_over_generated_points() {
     let dir = temp_dir("knn");
     let dir_s = dir.to_str().unwrap();
     run_ok(&[
-        "generate", "--kind", "points", "--out", dir_s, "--files", "3", "--per-file", "2000",
-        "--per-chunk", "500", "--dim", "3",
+        "generate",
+        "--kind",
+        "points",
+        "--out",
+        dir_s,
+        "--files",
+        "3",
+        "--per-file",
+        "2000",
+        "--per-chunk",
+        "500",
+        "--dim",
+        "3",
     ]);
     let index = format!("{dir_s}.grix");
     let out = run_ok(&[
@@ -93,13 +132,32 @@ fn split_site_run_matches_single_site() {
     let dir = temp_dir("split-a");
     let dir_s = dir.to_str().unwrap();
     run_ok(&[
-        "generate", "--kind", "words", "--out", dir_s, "--files", "4", "--per-file", "3000",
-        "--per-chunk", "750", "--vocab", "100", "--seed", "5",
+        "generate",
+        "--kind",
+        "words",
+        "--out",
+        dir_s,
+        "--files",
+        "4",
+        "--per-file",
+        "3000",
+        "--per-chunk",
+        "750",
+        "--vocab",
+        "100",
+        "--seed",
+        "5",
     ]);
     let index = format!("{dir_s}.grix");
 
     let single = run_ok(&[
-        "run", "--app", "wordcount", "--index", &index, "--data", dir_s,
+        "run",
+        "--app",
+        "wordcount",
+        "--index",
+        &index,
+        "--data",
+        dir_s,
     ]);
 
     // Move the second half of the files to a second "site".
@@ -109,8 +167,21 @@ fn split_site_run_matches_single_site() {
         std::fs::rename(dir.join(f), dir2.join(f)).unwrap();
     }
     let hybrid = run_ok(&[
-        "run", "--app", "wordcount", "--index", &index, "--data", dir_s, "--data2",
-        dir2.to_str().unwrap(), "--frac-local", "0.5", "--cores", "2", "--cores2", "2",
+        "run",
+        "--app",
+        "wordcount",
+        "--index",
+        &index,
+        "--data",
+        dir_s,
+        "--data2",
+        dir2.to_str().unwrap(),
+        "--frac-local",
+        "0.5",
+        "--cores",
+        "2",
+        "--cores2",
+        "2",
     ]);
 
     // Compare the word tables (first lines up to the report).
@@ -121,7 +192,10 @@ fn split_site_run_matches_single_site() {
             .collect()
     };
     assert_eq!(table(&single), table(&hybrid));
-    assert!(hybrid.contains("remote"), "hybrid report lists the second cluster");
+    assert!(
+        hybrid.contains("remote"),
+        "hybrid report lists the second cluster"
+    );
 
     std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_dir_all(&dir2).unwrap();
@@ -135,7 +209,13 @@ fn simulate_subcommand_prints_report() {
     assert!(out.contains("global-reduction"), "{out}");
 
     let with_timeline = run_ok(&[
-        "simulate", "--app", "kmeans", "--env", "50/50", "--timeline", "true",
+        "simulate",
+        "--app",
+        "kmeans",
+        "--env",
+        "50/50",
+        "--timeline",
+        "true",
     ]);
     assert!(with_timeline.contains("gantt over"), "{with_timeline}");
 }
@@ -148,10 +228,26 @@ fn bad_input_fails_cleanly() {
     let e = run_err(&["simulate", "--app", "nope"]);
     assert!(e.contains("unknown --app"), "{e}");
 
-    let e = run_err(&["run", "--app", "wordcount", "--index", "/no/such/file", "--data", "/tmp"]);
+    let e = run_err(&[
+        "run",
+        "--app",
+        "wordcount",
+        "--index",
+        "/no/such/file",
+        "--data",
+        "/tmp",
+    ]);
     assert!(e.contains("error"), "{e}");
 
-    let e = run_err(&["organize", "--store", "/tmp", "--unit-bytes", "8", "--typo", "x"]);
+    let e = run_err(&[
+        "organize",
+        "--store",
+        "/tmp",
+        "--unit-bytes",
+        "8",
+        "--typo",
+        "x",
+    ]);
     assert!(e.contains("unknown flag"), "{e}");
 }
 
@@ -181,8 +277,14 @@ fn simulate_config_file() {
     assert!(out.contains("custom-25/75"), "{out}");
     assert!(out.contains("global-reduction"), "{out}");
     // Stealing disabled: the stolen column of both clusters must be zero.
-    for line in out.lines().filter(|l| l.starts_with("local") || l.starts_with("EC2")) {
-        assert!(line.trim_end().ends_with('0'), "no stealing expected: {line}");
+    for line in out
+        .lines()
+        .filter(|l| l.starts_with("local") || l.starts_with("EC2"))
+    {
+        assert!(
+            line.trim_end().ends_with('0'),
+            "no stealing expected: {line}"
+        );
     }
 
     // Unknown fields are rejected (typo protection).
@@ -197,14 +299,28 @@ fn pagerank_run_over_generated_graph() {
     let dir = temp_dir("pr");
     let dir_s = dir.to_str().unwrap();
     run_ok(&[
-        "generate", "--kind", "graph", "--out", dir_s, "--files", "3", "--per-file", "4000",
-        "--per-chunk", "1000", "--pages", "300",
+        "generate",
+        "--kind",
+        "graph",
+        "--out",
+        dir_s,
+        "--files",
+        "3",
+        "--per-file",
+        "4000",
+        "--per-chunk",
+        "1000",
+        "--pages",
+        "300",
     ]);
     let index = format!("{dir_s}.grix");
     let out = run_ok(&[
         "run", "--app", "pagerank", "--index", &index, "--data", dir_s, "--passes", "6",
     ]);
-    assert!(out.contains("pagerank: 300 pages") || out.contains("pagerank: 2"), "{out}");
+    assert!(
+        out.contains("pagerank: 300 pages") || out.contains("pagerank: 2"),
+        "{out}"
+    );
     assert!(out.contains("pass 1: delta"), "{out}");
     assert!(out.contains("rank"), "{out}");
     std::fs::remove_dir_all(&dir).unwrap();

@@ -99,7 +99,11 @@ impl<A: ReductionObject, B: ReductionObject, C: ReductionObject> ReductionObject
 /// logical slots on every worker).
 impl<R: ReductionObject> ReductionObject for Vec<R> {
     fn merge(&mut self, other: Self) {
-        assert_eq!(self.len(), other.len(), "merging Vec<RObj> of different lengths");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "merging Vec<RObj> of different lengths"
+        );
         for (a, b) in self.iter_mut().zip(other) {
             a.merge(b);
         }
@@ -112,12 +116,7 @@ impl<R: ReductionObject> ReductionObject for Vec<R> {
 /// Process a whole decoded chunk sequentially — the reference semantics any
 /// distributed schedule must reproduce. Exposed for tests, benchmarks, and
 /// the sequential baselines.
-pub fn reduce_units<A: GRApp>(
-    app: &A,
-    params: &A::Params,
-    robj: &mut A::RObj,
-    units: &[A::Unit],
-) {
+pub fn reduce_units<A: GRApp>(app: &A, params: &A::Params, robj: &mut A::RObj, units: &[A::Unit]) {
     for u in units {
         app.local_reduce(params, robj, u);
     }
@@ -194,7 +193,11 @@ mod tests {
 
     #[test]
     fn sequential_oracle_sums() {
-        let r = run_sequential(&SumApp, &(), vec![chunk(0, &[1, 2, 3]), chunk(1, &[10, 20])]);
+        let r = run_sequential(
+            &SumApp,
+            &(),
+            vec![chunk(0, &[1, 2, 3]), chunk(1, &[10, 20])],
+        );
         assert_eq!(r.0, 36);
     }
 

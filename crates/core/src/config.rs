@@ -2,6 +2,26 @@
 
 use crate::sched::pool::PoolConfig;
 
+/// A scheduled slave failure: slave `slave` of cluster `cluster` fail-stops
+/// after processing `after_jobs` jobs.
+///
+/// The kill is taken at a job boundary (the generalized-reduction model's
+/// natural checkpoint): the slave's accumulated reduction object survives —
+/// it is handed to the master exactly as at normal shutdown — while any job
+/// the head still considers leased to it is failed back to the pool. This
+/// models the paper's observation that GR needs only the tiny reduction
+/// object plus the set of unprocessed chunks to recover, rather than
+/// MapReduce-style re-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlaveKill {
+    /// Index of the cluster in the deployment.
+    pub cluster: usize,
+    /// Slave (core) index within that cluster.
+    pub slave: usize,
+    /// Jobs the slave completes before dying.
+    pub after_jobs: u64,
+}
+
 /// Configuration of the in-process cloud-bursting runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -27,6 +47,18 @@ pub struct RuntimeConfig {
     /// "compute-bound" like the 120 GB original) without gigabytes of data.
     /// Zero disables it.
     pub synthetic_compute_ns_per_unit: u64,
+    /// Per-GET deadline. A retrieval that takes longer than this (e.g. a
+    /// hung connection, modelled by `FaultMode::Stall`) is classified as
+    /// failed and retried, rather than blocking the slave forever.
+    /// `None` disables the deadline.
+    pub retrieval_deadline: Option<std::time::Duration>,
+    /// A slave that fails this many *consecutive* jobs retires gracefully:
+    /// it reports its partial reduction object to the master (which still
+    /// merges into the cluster result) and stops pulling work, leaving the
+    /// remaining jobs to healthier slaves and clusters. Must be >= 1.
+    pub slave_failure_threshold: u32,
+    /// Deterministic fault-injection hook: scheduled slave fail-stops.
+    pub kill_schedule: Vec<SlaveKill>,
 }
 
 impl Default for RuntimeConfig {
@@ -39,6 +71,9 @@ impl Default for RuntimeConfig {
             retrieval_backoff: std::time::Duration::from_millis(5),
             cache_group_units: 4096,
             synthetic_compute_ns_per_unit: 0,
+            retrieval_deadline: None,
+            slave_failure_threshold: 3,
+            kill_schedule: Vec::new(),
         }
     }
 }
@@ -58,6 +93,14 @@ impl RuntimeConfig {
         }
         if self.cache_group_units == 0 {
             return Err("cache_group_units must be >= 1".into());
+        }
+        if self.slave_failure_threshold == 0 {
+            return Err("slave_failure_threshold must be >= 1".into());
+        }
+        if let Some(d) = self.retrieval_deadline {
+            if d.is_zero() {
+                return Err("retrieval_deadline must be > 0 when set".into());
+            }
         }
         Ok(())
     }
@@ -92,5 +135,17 @@ mod tests {
             c.pool.remote_batch = remote;
             assert!(c.validate().is_err());
         }
+
+        let c = RuntimeConfig {
+            slave_failure_threshold: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = RuntimeConfig {
+            retrieval_deadline: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
     }
 }

@@ -106,11 +106,27 @@ impl DataFabric {
         self.paths.get(&(from, to))
     }
 
+    /// Decorate every path leading *to* data site `to` — the structural way
+    /// to degrade one location (e.g. wrap each view of the S3 site in a
+    /// `FlakyStore`) while other sites stay healthy. Returns the number of
+    /// paths wrapped.
+    pub fn wrap_paths_to<F>(&mut self, to: LocationId, mut wrap: F) -> usize
+    where
+        F: FnMut(Arc<dyn ObjectStore>) -> Arc<dyn ObjectStore>,
+    {
+        let mut n = 0;
+        for ((_, t), store) in self.paths.iter_mut() {
+            if *t == to {
+                *store = wrap(Arc::clone(store));
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// All configured paths (diagnostics).
     pub fn paths(&self) -> impl Iterator<Item = (LocationId, LocationId, &str)> {
-        self.paths
-            .iter()
-            .map(|(&(f, t), s)| (f, t, s.name()))
+        self.paths.iter().map(|(&(f, t), s)| (f, t, s.name()))
     }
 }
 
@@ -182,6 +198,22 @@ mod tests {
         assert_eq!(f.store_for(loc(0), loc(1)).unwrap().name(), "slow-view");
         assert_eq!(f.store_for(loc(1), loc(1)).unwrap().name(), "fast-view");
         assert!(f.store_for(loc(0), loc(0)).is_none());
+    }
+
+    #[test]
+    fn wrap_paths_to_decorates_only_the_target_site() {
+        use cb_storage::faults::{FaultMode, FlakyStore};
+        let mut stores: BTreeMap<LocationId, Arc<dyn ObjectStore>> = BTreeMap::new();
+        stores.insert(loc(0), Arc::new(MemStore::new("a")));
+        stores.insert(loc(1), Arc::new(MemStore::new("b")));
+        let mut f = DataFabric::direct(&stores);
+        let wrapped = f.wrap_paths_to(loc(1), |s| {
+            Arc::new(FlakyStore::new(s, FaultMode::FirstNPerKey { n: 1 }, 0))
+        });
+        assert_eq!(wrapped, 2, "both accessors' views of site 1");
+        assert_eq!(f.store_for(loc(0), loc(1)).unwrap().name(), "flaky(b)");
+        assert_eq!(f.store_for(loc(1), loc(1)).unwrap().name(), "flaky(b)");
+        assert_eq!(f.store_for(loc(0), loc(0)).unwrap().name(), "a");
     }
 
     #[test]

@@ -39,6 +39,35 @@ pub struct ClusterBreakdown {
     pub bytes_remote: u64,
 }
 
+/// Fault-recovery accounting for one run. All zeros on a failure-free run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct RecoveryStats {
+    /// Retrieval failures surfaced to slaves after the storage layer's own
+    /// retries were exhausted.
+    pub fetch_failures: u64,
+    /// Jobs returned to the head pool and granted again (slave failures
+    /// plus reclaimed leases).
+    pub jobs_reenqueued: u64,
+    /// Storage-level GET retry attempts (transient faults absorbed below
+    /// the scheduler).
+    pub retries: u64,
+    /// Slaves that retired early after too many consecutive failures.
+    pub slaves_retired: u64,
+    /// Slaves fail-stopped by the injected kill schedule.
+    pub slaves_killed: u64,
+}
+
+impl RecoveryStats {
+    /// True when the run saw no failure events at all.
+    pub fn is_clean(&self) -> bool {
+        self.fetch_failures == 0
+            && self.jobs_reenqueued == 0
+            && self.retries == 0
+            && self.slaves_retired == 0
+            && self.slaves_killed == 0
+    }
+}
+
 /// A full run: per-cluster breakdowns plus global phases.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct RunReport {
@@ -52,6 +81,9 @@ pub struct RunReport {
     pub robj_bytes: u64,
     /// One entry per cluster.
     pub clusters: Vec<ClusterBreakdown>,
+    /// Failure-injection and recovery accounting (zeros when clean).
+    #[serde(default)]
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -114,6 +146,15 @@ impl RunReport {
             "total {:.2}s   global-reduction {:.3}s   robj {} bytes",
             self.total_s, self.global_reduction_s, self.robj_bytes
         );
+        if !self.recovery.is_clean() {
+            let r = &self.recovery;
+            let _ = writeln!(
+                out,
+                "recovery: {} fetch failures, {} jobs re-enqueued, {} retries, \
+                 {} slaves retired, {} slaves killed",
+                r.fetch_failures, r.jobs_reenqueued, r.retries, r.slaves_retired, r.slaves_killed
+            );
+        }
         out
     }
 }
@@ -155,6 +196,7 @@ mod tests {
                     bytes_remote: 1 << 28,
                 },
             ],
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -192,5 +234,34 @@ mod tests {
         assert!(text.contains("local"));
         assert!(text.contains("EC2"));
         assert!(text.contains("global-reduction"));
+        assert!(
+            !text.contains("recovery:"),
+            "clean runs omit the recovery row"
+        );
+    }
+
+    #[test]
+    fn render_shows_recovery_when_dirty() {
+        let mut r = sample();
+        r.recovery.jobs_reenqueued = 3;
+        r.recovery.slaves_killed = 1;
+        let text = r.render();
+        assert!(text.contains("3 jobs re-enqueued"));
+        assert!(text.contains("1 slaves killed"));
+    }
+
+    #[test]
+    fn json_without_recovery_field_defaults_clean() {
+        // Reports serialized before RecoveryStats existed must still load.
+        let r = sample();
+        let s = serde_json::to_string(&r).unwrap();
+        let stripped = s.replace(
+            ",\"recovery\":{\"fetch_failures\":0,\"jobs_reenqueued\":0,\"retries\":0,\"slaves_retired\":0,\"slaves_killed\":0}",
+            "",
+        );
+        assert_ne!(s, stripped, "recovery field was serialized");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert!(back.recovery.is_clean());
+        assert_eq!(back, r);
     }
 }

@@ -17,26 +17,68 @@
 //! The scheduling behaviour (locality, consecutive grants, contention-aware
 //! stealing, demand-driven balancing) lives entirely in [`crate::sched`] and
 //! is shared verbatim with the discrete-event simulator.
+//!
+//! # Fault tolerance
+//!
+//! The generalized-reduction model makes recovery cheap (paper §III-C): the
+//! only state worth preserving is each slave's small reduction object plus
+//! the set of unprocessed chunks, both of which the head already tracks.
+//! Concretely:
+//!
+//! * a slave whose retrieval fails (after the storage layer's own retries)
+//!   reports the job *failed* and keeps pulling work — the head re-enqueues
+//!   the chunk at the front of its file's queue so another slave or cluster
+//!   picks it up with sequential reads intact;
+//! * a slave that fails [`RuntimeConfig::slave_failure_threshold`]
+//!   consecutive jobs retires gracefully: its partial reduction object still
+//!   merges into the cluster result, and its remaining work drains to
+//!   healthier slaves;
+//! * a slave fail-stopped by the injected kill schedule behaves like a
+//!   graceful retirement at a job boundary (the model's natural checkpoint);
+//! * a master whose slaves have all died drains its undispatched leases back
+//!   to the head, so surviving clusters can steal them — losing every node
+//!   at one location degrades the run instead of hanging or panicking;
+//! * the run errors only when a chunk has failed permanently everywhere
+//!   (its failure budget, [`crate::sched::pool::PoolConfig::max_job_failures`],
+//!   is exhausted) — surfaced as [`RuntimeError::JobsFailed`] naming the
+//!   dead chunks.
 
 use crate::api::{GRApp, ReductionObject};
 use crate::config::RuntimeConfig;
 use crate::deploy::Deployment;
-use crate::report::{ClusterBreakdown, RunReport};
+use crate::report::{ClusterBreakdown, RecoveryStats, RunReport};
 use crate::sched::master::{MasterJob, MasterPool};
 use crate::sched::pool::JobPool;
 use cb_storage::layout::{ChunkId, DatasetLayout, LocationId, Placement};
 use cb_storage::retrieve::Retriever;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long a master blocks on its slave channel before re-checking whether
+/// parked slaves can be fed (e.g. by jobs another cluster failed back).
+const MASTER_POLL: Duration = Duration::from_millis(2);
 
 /// Errors surfaced by a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// Configuration or deployment rejected before starting.
     Validation(String),
-    /// A slave failed to retrieve data.
+    /// An I/O failure outside the per-job recovery path.
     Io(String),
+    /// One or more chunks could not be processed anywhere: `dead` exhausted
+    /// their failure budget, `unfinished` more were left with no cluster
+    /// able to run them.
+    JobsFailed {
+        dead: Vec<ChunkId>,
+        unfinished: usize,
+        last_error: Option<String>,
+    },
+    /// A master thread died without reporting its cluster's result.
+    ClusterLost(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -44,6 +86,26 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::Validation(s) => write!(f, "invalid configuration: {s}"),
             RuntimeError::Io(s) => write!(f, "I/O failure: {s}"),
+            RuntimeError::JobsFailed {
+                dead,
+                unfinished,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "{} job(s) failed permanently, {} left unprocessed",
+                    dead.len(),
+                    unfinished
+                )?;
+                if let Some(c) = dead.first() {
+                    write!(f, " (first dead: {c})")?;
+                }
+                if let Some(e) = last_error {
+                    write!(f, "; last error: {e}")?;
+                }
+                Ok(())
+            }
+            RuntimeError::ClusterLost(s) => write!(f, "cluster lost: {s}"),
         }
     }
 }
@@ -62,19 +124,38 @@ struct SlaveStats {
     bytes_remote: u64,
 }
 
+/// What happened to the last job a slave held.
+enum JobOutcome {
+    /// No job held (first request).
+    None,
+    /// Processed and folded into the slave's reduction object.
+    Completed(ChunkId),
+    /// Retrieval failed after the storage layer's retries; the chunk must
+    /// go back to the head pool.
+    Failed { chunk: ChunkId, error: String },
+}
+
+/// Why a slave stopped pulling work before the pool drained.
+enum RetireReason {
+    /// Fail-stopped by the injected kill schedule.
+    Killed,
+    /// Too many consecutive job failures.
+    TooManyFailures,
+}
+
 /// Slave → master messages.
 enum ToMaster<R> {
-    /// "Give me a job"; carries the id of the job just completed (if any)
+    /// "Give me a job"; carries the outcome of the job just held (if any)
     /// so the master can report it to the head.
-    Request {
-        slave: usize,
-        completed: Option<ChunkId>,
-    },
-    /// Final report: stats plus this slave's reduction object.
+    Request { slave: usize, outcome: JobOutcome },
+    /// Final report: stats plus this slave's reduction object. The partial
+    /// reduction object is sent even on retirement — under generalized
+    /// reduction it is a valid checkpoint and still merges.
     Finished {
         stats: SlaveStats,
         robj: Box<R>,
-        error: Option<String>,
+        outcome: JobOutcome,
+        retired: Option<RetireReason>,
     },
 }
 
@@ -86,6 +167,11 @@ struct ClusterResult<R> {
     /// Instant at which all of this cluster's slaves finished and the local
     /// combination completed (before the WAN transfer).
     local_done: Instant,
+    /// This cluster's share of the recovery accounting (fetch failures,
+    /// retired/killed slaves).
+    recovery: RecoveryStats,
+    /// First failure message observed (diagnostics; non-fatal unless jobs
+    /// die permanently).
     error: Option<String>,
 }
 
@@ -123,8 +209,28 @@ pub fn run<A: GRApp>(
     deployment
         .validate(&data_sites)
         .map_err(RuntimeError::Validation)?;
+    for kill in &cfg.kill_schedule {
+        let cores = deployment
+            .clusters
+            .get(kill.cluster)
+            .map(|c| c.cores)
+            .ok_or_else(|| {
+                RuntimeError::Validation(format!(
+                    "kill_schedule names cluster {} but only {} cluster(s) exist",
+                    kill.cluster,
+                    deployment.clusters.len()
+                ))
+            })?;
+        if kill.slave >= cores {
+            return Err(RuntimeError::Validation(format!(
+                "kill_schedule names slave {} of cluster {} but it has {} core(s)",
+                kill.slave, kill.cluster, cores
+            )));
+        }
+    }
 
     let head = Mutex::new(JobPool::new(layout, placement, cfg.pool.clone()));
+    let retry_counter = Arc::new(AtomicU64::new(0));
     let (result_tx, result_rx) = unbounded::<ClusterResult<A::RObj>>();
     let t0 = Instant::now();
 
@@ -138,12 +244,23 @@ pub fn run<A: GRApp>(
                 let (job_tx, job_rx) = unbounded::<Option<MasterJob>>();
                 job_txs.push(job_tx);
                 let to_master = to_master_tx.clone();
+                let retry_counter = Arc::clone(&retry_counter);
                 scope.spawn({
                     let cluster = cluster.clone();
                     move || {
                         slave_loop(
-                            app, params, layout, placement, deployment, cfg, &cluster, si,
-                            to_master, job_rx,
+                            app,
+                            params,
+                            layout,
+                            placement,
+                            deployment,
+                            cfg,
+                            &cluster,
+                            ci,
+                            si,
+                            retry_counter,
+                            to_master,
+                            job_rx,
                         )
                     }
                 });
@@ -157,7 +274,13 @@ pub fn run<A: GRApp>(
                 let cluster = cluster.clone();
                 move || {
                     master_loop::<A>(
-                        ci, &cluster, cfg, head_ref, to_master_rx, job_txs, result_tx,
+                        ci,
+                        &cluster,
+                        cfg,
+                        head_ref,
+                        to_master_rx,
+                        job_txs,
+                        result_tx,
                     )
                 }
             });
@@ -166,26 +289,37 @@ pub fn run<A: GRApp>(
         Ok(())
     })?;
 
-    // Head: collect per-cluster results, perform the global reduction.
+    // Head: collect per-cluster results, perform the global reduction. All
+    // threads have joined (the scope closed), so the channel holds whatever
+    // the masters managed to report.
     let n_clusters = deployment.clusters.len();
     let mut results: Vec<Option<ClusterResult<A::RObj>>> = (0..n_clusters).map(|_| None).collect();
-    for _ in 0..n_clusters {
-        let r = result_rx
-            .recv()
-            .expect("a master thread died without reporting");
+    while let Ok(r) = result_rx.recv() {
         let idx = r.cluster;
         results[idx] = Some(r);
     }
+    if let Some(ci) = results.iter().position(|r| r.is_none()) {
+        return Err(RuntimeError::ClusterLost(format!(
+            "master for cluster {} ({}) died without reporting",
+            ci, deployment.clusters[ci].name
+        )));
+    }
+
     let mut error: Option<String> = None;
+    let mut recovery = RecoveryStats::default();
     let mut final_robj: Option<A::RObj> = None;
     let mut local_dones: Vec<Instant> = Vec::with_capacity(n_clusters);
     for r in results.iter_mut() {
-        let r = r.as_mut().expect("missing cluster result");
+        let r = r.as_mut().expect("checked above");
         if let Some(e) = r.error.take() {
             error.get_or_insert(e);
         }
+        recovery.fetch_failures += r.recovery.fetch_failures;
+        recovery.slaves_retired += r.recovery.slaves_retired;
+        recovery.slaves_killed += r.recovery.slaves_killed;
         local_dones.push(r.local_done);
     }
+    recovery.retries = retry_counter.load(Ordering::Relaxed);
     let last_local_done = local_dones.iter().copied().max().unwrap_or(t0);
     // Merge in cluster order: the global reduction proper.
     for r in results.iter_mut() {
@@ -197,21 +331,45 @@ pub fn run<A: GRApp>(
         }
     }
     let end = Instant::now();
-    if let Some(e) = error {
-        return Err(RuntimeError::Io(e));
+
+    // The run only fails if some chunk could not be processed anywhere;
+    // every fault the scheduler absorbed shows up in `recovery` instead.
+    {
+        let pool = head.lock();
+        recovery.jobs_reenqueued = pool.reenqueued();
+        if !pool.all_done() {
+            let dead = pool.dead_jobs();
+            let unfinished = pool.pending() + pool.outstanding();
+            return Err(RuntimeError::JobsFailed {
+                dead,
+                unfinished,
+                last_error: error,
+            });
+        }
     }
-    let final_robj =
-        final_robj.ok_or_else(|| RuntimeError::Validation("no reduction objects produced".into()))?;
+
+    let final_robj = final_robj
+        .ok_or_else(|| RuntimeError::Validation("no reduction objects produced".into()))?;
 
     // Assemble the report.
     let global_reduction = end.saturating_duration_since(last_local_done);
     let mut clusters = Vec::with_capacity(n_clusters);
     for (ci, r) in results.into_iter().enumerate() {
-        let r = r.expect("missing cluster result");
+        let r = r.expect("checked above");
         let spec = &deployment.clusters[ci];
         let n = r.stats.len().max(1) as f64;
-        let proc_s: f64 = r.stats.iter().map(|s| s.processing.as_secs_f64()).sum::<f64>() / n;
-        let retr_s: f64 = r.stats.iter().map(|s| s.retrieval.as_secs_f64()).sum::<f64>() / n;
+        let proc_s: f64 = r
+            .stats
+            .iter()
+            .map(|s| s.processing.as_secs_f64())
+            .sum::<f64>()
+            / n;
+        let retr_s: f64 = r
+            .stats
+            .iter()
+            .map(|s| s.retrieval.as_secs_f64())
+            .sum::<f64>()
+            / n;
         let wall_s = r.local_done.saturating_duration_since(t0).as_secs_f64();
         clusters.push(ClusterBreakdown {
             name: spec.name.clone(),
@@ -234,11 +392,31 @@ pub fn run<A: GRApp>(
         global_reduction_s: global_reduction.as_secs_f64(),
         robj_bytes: final_robj.size_bytes() as u64,
         clusters,
+        recovery,
     };
     Ok(RunOutcome {
         result: final_robj,
         report,
     })
+}
+
+/// Report a slave's job outcome to the head.
+fn note_outcome(
+    head: &Mutex<JobPool>,
+    loc: LocationId,
+    outcome: JobOutcome,
+    recovery: &mut RecoveryStats,
+    first_error: &mut Option<String>,
+) {
+    match outcome {
+        JobOutcome::None => {}
+        JobOutcome::Completed(chunk) => head.lock().complete(loc, chunk),
+        JobOutcome::Failed { chunk, error } => {
+            recovery.fetch_failures += 1;
+            first_error.get_or_insert(error);
+            head.lock().fail(loc, chunk);
+        }
+    }
 }
 
 /// The master thread: serve slaves, refill from the head, merge results.
@@ -252,11 +430,18 @@ fn master_loop<A: GRApp>(
     result_tx: Sender<ClusterResult<A::RObj>>,
 ) {
     let loc = cluster.location;
+    let n_slaves = job_txs.len();
     let mut pool = MasterPool::new(cfg.master_low_water);
-    let mut stats: Vec<SlaveStats> = Vec::with_capacity(job_txs.len());
+    let mut stats: Vec<SlaveStats> = Vec::with_capacity(n_slaves);
     let mut robj_acc: Option<Box<A::RObj>> = None;
+    let mut recovery = RecoveryStats::default();
     let mut error: Option<String> = None;
     let mut finished_slaves = 0usize;
+    // Slaves that asked for a job the pool could not supply yet. An empty
+    // head grant means "nothing right now", not "never": a job leased to
+    // another cluster may still fail back, so parked slaves wait until the
+    // head confirms exhaustion.
+    let mut parked: VecDeque<usize> = VecDeque::new();
 
     let refill = |pool: &mut MasterPool| {
         pool.mark_requested();
@@ -264,46 +449,78 @@ fn master_loop<A: GRApp>(
         if !cluster.head_rtt.is_zero() {
             std::thread::sleep(cluster.head_rtt);
         }
-        let grant = head.lock().request(loc);
+        let mut h = head.lock();
+        let grant = h.request(loc);
+        // Checked under the same lock as the grant: exhaustion observed here
+        // cannot be invalidated by a later fail-back (it implies no
+        // reachable job is outstanding anywhere).
+        let exhausted = grant.jobs.is_empty() && h.exhausted_for(loc);
+        drop(h);
         pool.on_grant(grant.jobs, grant.stolen);
+        if exhausted {
+            pool.mark_exhausted();
+        }
     };
 
-    while finished_slaves < job_txs.len() {
-        let msg = match rx.recv() {
-            Ok(m) => m,
-            Err(_) => break, // all slaves gone (they each sent Finished first)
-        };
-        match msg {
-            ToMaster::Request { slave, completed } => {
-                if let Some(job) = completed {
-                    head.lock().complete(loc, job);
-                }
-                if pool.is_empty() && !pool.finished() {
-                    refill(&mut pool);
-                }
-                let reply = pool.take();
-                // Prefetch below the low-water mark so slaves rarely block
-                // on a head round-trip.
-                if pool.should_request() {
-                    refill(&mut pool);
-                }
-                let _ = job_txs[slave].send(reply);
+    while finished_slaves < n_slaves {
+        match rx.recv_timeout(MASTER_POLL) {
+            Ok(ToMaster::Request { slave, outcome }) => {
+                note_outcome(head, loc, outcome, &mut recovery, &mut error);
+                parked.push_back(slave);
             }
-            ToMaster::Finished {
+            Ok(ToMaster::Finished {
                 stats: s,
                 robj,
-                error: e,
-            } => {
+                outcome,
+                retired,
+            }) => {
+                note_outcome(head, loc, outcome, &mut recovery, &mut error);
+                match retired {
+                    Some(RetireReason::Killed) => recovery.slaves_killed += 1,
+                    Some(RetireReason::TooManyFailures) => recovery.slaves_retired += 1,
+                    None => {}
+                }
                 finished_slaves += 1;
                 stats.push(s);
-                if let Some(e) = e {
-                    error.get_or_insert(e);
-                }
                 match robj_acc.as_mut() {
                     None => robj_acc = Some(robj),
                     Some(acc) => acc.merge(*robj),
                 }
             }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Feed parked slaves, refilling from the head as needed.
+        while let Some(&slave) = parked.front() {
+            if let Some(job) = pool.take() {
+                parked.pop_front();
+                let _ = job_txs[slave].send(Some(job));
+            } else if pool.finished() {
+                parked.pop_front();
+                let _ = job_txs[slave].send(None);
+            } else {
+                refill(&mut pool);
+                if pool.is_empty() && !pool.finished() {
+                    // Nothing available right now; re-poll after MASTER_POLL.
+                    break;
+                }
+            }
+        }
+        // Prefetch below the low-water mark so slaves rarely block on a
+        // head round-trip.
+        if finished_slaves < n_slaves && pool.should_request() {
+            refill(&mut pool);
+        }
+    }
+
+    // A dying master returns its undispatched leases so surviving clusters
+    // can steal them (all-slaves-lost is survivable for the run).
+    let leases = pool.drain();
+    if !leases.is_empty() {
+        let mut h = head.lock();
+        for job in &leases {
+            h.fail(loc, job.chunk);
         }
     }
 
@@ -317,11 +534,12 @@ fn master_loop<A: GRApp>(
         robj: robj_acc,
         stats,
         local_done,
+        recovery,
         error,
     });
 }
 
-/// One slave thread: pull jobs, retrieve, fold.
+/// One slave thread: pull jobs, retrieve, fold — and survive failures.
 #[allow(clippy::too_many_arguments)]
 fn slave_loop<A: GRApp>(
     app: &A,
@@ -331,29 +549,55 @@ fn slave_loop<A: GRApp>(
     deployment: &Deployment,
     cfg: &RuntimeConfig,
     cluster: &crate::deploy::ClusterSpec,
+    cluster_idx: usize,
     slave: usize,
+    retry_counter: Arc<AtomicU64>,
     to_master: Sender<ToMaster<A::RObj>>,
     job_rx: Receiver<Option<MasterJob>>,
 ) {
     let my_loc = cluster.location;
+    // Jitter-decorrelate retries across slaves while staying deterministic.
+    let jitter_seed = ((cluster_idx as u64) << 32) ^ (slave as u64 + 1);
     let remote_retriever = Retriever::new(cfg.retrieval_threads)
-        .with_retries(cfg.retrieval_retries, cfg.retrieval_backoff);
-    let local_retriever =
-        Retriever::sequential().with_retries(cfg.retrieval_retries, cfg.retrieval_backoff);
+        .with_retries(cfg.retrieval_retries, cfg.retrieval_backoff)
+        .with_deadline(cfg.retrieval_deadline)
+        .with_jitter_seed(jitter_seed)
+        .with_retry_counter(Arc::clone(&retry_counter));
+    let local_retriever = Retriever::sequential()
+        .with_retries(cfg.retrieval_retries, cfg.retrieval_backoff)
+        .with_deadline(cfg.retrieval_deadline)
+        .with_jitter_seed(jitter_seed)
+        .with_retry_counter(Arc::clone(&retry_counter));
     let compute_ns = cluster
         .compute_ns_per_unit
         .unwrap_or(cfg.synthetic_compute_ns_per_unit);
+    let kill_after: Option<u64> = cfg
+        .kill_schedule
+        .iter()
+        .find(|k| k.cluster == cluster_idx && k.slave == slave)
+        .map(|k| k.after_jobs);
 
     let mut robj = app.init(params);
     let mut stats = SlaveStats::default();
-    let mut error: Option<String> = None;
-    let mut completed: Option<ChunkId> = None;
+    let mut outcome = JobOutcome::None;
+    let mut retired: Option<RetireReason> = None;
+    let mut consecutive_failures = 0u32;
 
     loop {
-        if to_master
-            .send(ToMaster::Request { slave, completed })
-            .is_err()
-        {
+        // The injected fail-stop happens at a job boundary — the
+        // generalized-reduction model's natural checkpoint — so the
+        // accumulated reduction object below survives the "crash".
+        if let Some(n) = kill_after {
+            if stats.jobs >= n {
+                retired = Some(RetireReason::Killed);
+                break;
+            }
+        }
+        let request = ToMaster::Request {
+            slave,
+            outcome: std::mem::replace(&mut outcome, JobOutcome::None),
+        };
+        if to_master.send(request).is_err() {
             break;
         }
         let Ok(Some(job)) = job_rx.recv() else {
@@ -378,22 +622,30 @@ fn slave_loop<A: GRApp>(
         let bytes = match retriever.fetch(store, &file.name, chunk.offset, chunk.len) {
             Ok(b) => b,
             Err(e) => {
-                error = Some(format!(
-                    "slave {slave}@{}: fetching {} [{}+{}] from {}: {e}",
-                    cluster.name,
-                    file.name,
-                    chunk.offset,
-                    chunk.len,
-                    store.name()
-                ));
-                completed = Some(job.chunk); // report so the pool can drain
-                // Tell the master we're done with this job, then stop.
-                let _ = to_master.send(ToMaster::Request { slave, completed });
-                let _ = job_rx.recv();
-                break;
+                stats.retrieval += t_r.elapsed();
+                // The job is NOT complete: report it failed so the head
+                // re-enqueues it, and keep pulling work.
+                outcome = JobOutcome::Failed {
+                    chunk: job.chunk,
+                    error: format!(
+                        "slave {slave}@{}: fetching {} [{}+{}] from {}: {e}",
+                        cluster.name,
+                        file.name,
+                        chunk.offset,
+                        chunk.len,
+                        store.name()
+                    ),
+                };
+                consecutive_failures += 1;
+                if consecutive_failures >= cfg.slave_failure_threshold {
+                    retired = Some(RetireReason::TooManyFailures);
+                    break;
+                }
+                continue;
             }
         };
         stats.retrieval += t_r.elapsed();
+        consecutive_failures = 0;
         if home == my_loc {
             stats.bytes_local += chunk.len;
         } else {
@@ -417,13 +669,16 @@ fn slave_loop<A: GRApp>(
         if job.stolen {
             stats.stolen_jobs += 1;
         }
-        completed = Some(job.chunk);
+        outcome = JobOutcome::Completed(job.chunk);
     }
 
+    // Even a retiring slave's partial reduction object merges: under GR it
+    // is a valid checkpoint of the work it did complete.
     let _ = to_master.send(ToMaster::Finished {
         stats,
         robj: Box::new(robj),
-        error,
+        outcome,
+        retired,
     });
 }
 

@@ -26,7 +26,8 @@ pub struct MasterPool {
     /// Request more when `queue.len() <= low_water`.
     low_water: usize,
     request_in_flight: bool,
-    /// Head answered with an empty grant: no more jobs will ever come.
+    /// The head confirmed no more jobs will ever come for this cluster
+    /// (see [`MasterPool::mark_exhausted`]).
     exhausted: bool,
 }
 
@@ -72,17 +73,29 @@ impl MasterPool {
         self.request_in_flight
     }
 
-    /// Absorb a grant from the head. An empty grant marks the pool
-    /// exhausted (this cluster will receive nothing further).
+    /// Absorb a grant from the head.
+    ///
+    /// An empty grant no longer implies exhaustion: it can also mean
+    /// "nothing available *right now*" while jobs leased to other clusters
+    /// could still fail back into the head pool. Drivers receiving an empty
+    /// grant must consult the head (`JobPool::exhausted_for`) and either
+    /// call [`MasterPool::mark_exhausted`] or poll again later.
     pub fn on_grant(&mut self, jobs: impl IntoIterator<Item = ChunkId>, stolen: bool) {
         self.request_in_flight = false;
-        let before = self.queue.len();
         for chunk in jobs {
             self.queue.push_back(MasterJob { chunk, stolen });
         }
-        if self.queue.len() == before {
-            self.exhausted = true;
-        }
+    }
+
+    /// The head confirmed this cluster can never receive another grant.
+    pub fn mark_exhausted(&mut self) {
+        self.exhausted = true;
+    }
+
+    /// Drain every job still queued (granted by the head but never handed
+    /// to a slave) — used by a dying master to return its leases.
+    pub fn drain(&mut self) -> Vec<MasterJob> {
+        self.queue.drain(..).collect()
     }
 
     /// Hand the next job to a slave.
@@ -114,12 +127,18 @@ mod tests {
     }
 
     #[test]
-    fn empty_grant_means_exhausted() {
+    fn empty_grant_allows_repolling_until_marked_exhausted() {
         let mut m = MasterPool::new(1);
         m.mark_requested();
         m.on_grant(ids(&[5]), true);
         m.mark_requested();
         m.on_grant(ids(&[]), false);
+        // An empty grant can mean "nothing right now": jobs held elsewhere
+        // may fail back, so the pool stays pollable...
+        assert!(m.should_request(), "empty grant alone is not exhaustion");
+        assert!(!m.finished());
+        // ...until the head confirms nothing further can come.
+        m.mark_exhausted();
         assert!(!m.should_request(), "exhausted pools never re-request");
         assert!(!m.finished(), "one job still queued");
         let j = m.take().unwrap();
@@ -127,6 +146,20 @@ mod tests {
         assert!(j.stolen);
         assert!(m.finished());
         assert_eq!(m.take(), None);
+    }
+
+    #[test]
+    fn drain_returns_undispatched_jobs() {
+        let mut m = MasterPool::new(0);
+        m.on_grant(ids(&[1, 2]), false);
+        m.on_grant(ids(&[9]), true);
+        m.take();
+        let leases = m.drain();
+        assert_eq!(leases.len(), 2);
+        assert_eq!(leases[0].chunk, ChunkId(2));
+        assert_eq!(leases[1].chunk, ChunkId(9));
+        assert!(leases[1].stolen);
+        assert!(m.is_empty());
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct PoolConfig {
     /// `false` (ablation): grants round-robin across the site's files,
     /// destroying sequential access.
     pub consecutive: bool,
+    /// How many times a single job may fail (be returned via
+    /// [`JobPool::fail`] or [`JobPool::reclaim`]) before the pool declares
+    /// it dead instead of re-enqueueing it. Dead jobs make
+    /// [`JobPool::all_done`] unreachable, which the runtime surfaces as a
+    /// permanent error.
+    pub max_job_failures: u32,
 }
 
 impl Default for PoolConfig {
@@ -43,6 +49,7 @@ impl Default for PoolConfig {
             remote_batch: 4,
             allow_stealing: true,
             consecutive: true,
+            max_job_failures: 8,
         }
     }
 }
@@ -79,6 +86,9 @@ pub struct LocationCounters {
     pub granted_stolen: u64,
     /// Jobs reported complete by this location.
     pub completed: u64,
+    /// Jobs this location returned unfinished ([`JobPool::fail`] /
+    /// [`JobPool::reclaim`]).
+    pub failed: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +96,9 @@ enum JobState {
     Pending,
     Assigned(LocationId),
     Done,
+    /// Failed more than `max_job_failures` times; will never be granted
+    /// again. A pool with dead jobs can never report [`JobPool::all_done`].
+    Dead,
 }
 
 /// The head node's job pool.
@@ -126,6 +139,13 @@ pub struct JobPool {
     n_pending: usize,
     /// Jobs granted but not completed.
     n_outstanding: usize,
+    /// Jobs declared dead after exceeding `max_job_failures`.
+    n_dead: usize,
+    /// Failure count per job (survives re-enqueueing).
+    failures: Vec<u32>,
+    /// Total re-enqueue events ([`fail`](JobPool::fail) and
+    /// [`reclaim`](JobPool::reclaim)), feeding the run's recovery stats.
+    n_reenqueued: u64,
     counters: BTreeMap<LocationId, LocationCounters>,
     /// Round-robin cursor per location for the non-consecutive ablation.
     rr_cursor: BTreeMap<LocationId, usize>,
@@ -157,6 +177,9 @@ impl JobPool {
             chunk_file,
             n_pending: n,
             n_outstanding: 0,
+            n_dead: 0,
+            failures: vec![0; n],
+            n_reenqueued: 0,
             counters: BTreeMap::new(),
             rr_cursor: BTreeMap::new(),
         }
@@ -172,9 +195,41 @@ impl JobPool {
         self.n_outstanding
     }
 
-    /// True when every job has been completed.
+    /// True when every job has been completed. Dead jobs count against
+    /// this: a pool that lost a job permanently is never "done".
     pub fn all_done(&self) -> bool {
-        self.n_pending == 0 && self.n_outstanding == 0
+        self.n_pending == 0 && self.n_outstanding == 0 && self.n_dead == 0
+    }
+
+    /// Jobs that exceeded `max_job_failures` and were abandoned.
+    pub fn dead_jobs(&self) -> Vec<ChunkId> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == JobState::Dead)
+            .map(|(i, _)| ChunkId(i as u32))
+            .collect()
+    }
+
+    /// Total re-enqueue events (failed and reclaimed leases) so far.
+    pub fn reenqueued(&self) -> u64 {
+        self.n_reenqueued
+    }
+
+    /// True when `loc` can never receive another grant: every job it could
+    /// be offered is completed or dead. While jobs it could run are merely
+    /// *outstanding* at some cluster, this stays `false` — a failure could
+    /// return them to the pool, so masters must keep polling rather than
+    /// shut down.
+    pub fn exhausted_for(&self, loc: LocationId) -> bool {
+        if self.cfg.allow_stealing {
+            self.n_pending == 0 && self.n_outstanding == 0
+        } else {
+            // Without stealing only jobs homed at `loc` matter.
+            self.placement
+                .files_at(loc)
+                .all(|f| self.pending[f.0 as usize].is_empty() && self.readers[f.0 as usize] == 0)
+        }
     }
 
     /// Per-location counters (Table I inputs).
@@ -228,6 +283,66 @@ impl JobPool {
         self.readers[f] -= 1;
         self.n_outstanding -= 1;
         self.counters.entry(loc).or_default().completed += 1;
+    }
+
+    /// Return `job` — assigned to `loc` but not finished — to the pool.
+    ///
+    /// The job goes back to the *front* of its file's queue so the next
+    /// grant of that file re-starts at the lowest chunk id, preserving the
+    /// sequential-read property the consecutive-grant policy relies on.
+    /// After `max_job_failures` such returns the job is declared dead
+    /// instead (see [`JobPool::dead_jobs`]).
+    pub fn fail(&mut self, loc: LocationId, job: ChunkId) {
+        let idx = job.0 as usize;
+        match self.state[idx] {
+            JobState::Assigned(holder) => {
+                assert_eq!(
+                    holder, loc,
+                    "{job} failed by {loc} but was assigned to {holder}"
+                );
+            }
+            s => panic!("{job} failed while in state {s:?}"),
+        }
+        let f = self.chunk_file[idx].0 as usize;
+        self.readers[f] -= 1;
+        self.n_outstanding -= 1;
+        self.counters.entry(loc).or_default().failed += 1;
+        self.failures[idx] += 1;
+        if self.failures[idx] > self.cfg.max_job_failures {
+            self.state[idx] = JobState::Dead;
+            self.n_dead += 1;
+            return;
+        }
+        self.state[idx] = JobState::Pending;
+        // Front-insert, keeping the queue sorted: failed jobs are the
+        // lowest ids of their file still pending (they were granted from
+        // the front), so pushing in front keeps consecutive order.
+        let q = &mut self.pending[f];
+        let pos = q.partition_point(|c| c.0 < job.0);
+        q.insert(pos, job);
+        self.n_pending += 1;
+        self.n_reenqueued += 1;
+    }
+
+    /// Return every lease `loc` currently holds — the cluster (or its
+    /// master) is gone. Returns the jobs that went back to the pool; jobs
+    /// that exceeded their failure budget die instead and are not listed.
+    pub fn reclaim(&mut self, loc: LocationId) -> Vec<ChunkId> {
+        let held: Vec<ChunkId> = self
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == JobState::Assigned(loc))
+            .map(|(i, _)| ChunkId(i as u32))
+            .collect();
+        let mut returned = Vec::with_capacity(held.len());
+        for job in held {
+            self.fail(loc, job);
+            if self.state[job.0 as usize] == JobState::Pending {
+                returned.push(job);
+            }
+        }
+        returned
     }
 
     /// Choose a file homed at `loc` that still has pending jobs.
@@ -340,7 +455,7 @@ mod tests {
         // Cloud starts reading its own file 2.
         let g = p.request(CLOUD);
         assert_eq!(g.jobs[0].0, 8); // file 2 chunks are ids 8..12
-        // Local drains its files quickly.
+                                    // Local drains its files quickly.
         let _ = p.request(LOCAL);
         let _ = p.request(LOCAL);
         // Now local steals: file 2 has 2 readers... (outstanding 2 jobs),
@@ -430,6 +545,146 @@ mod tests {
         let g = p.request(LOCAL);
         p.complete(LOCAL, g.jobs[0]);
         p.complete(LOCAL, g.jobs[0]);
+    }
+
+    #[test]
+    fn fail_reenqueues_at_front_preserving_order() {
+        let mut p = pool(PoolConfig {
+            local_batch: 3,
+            ..Default::default()
+        });
+        let g = p.request(LOCAL);
+        assert_eq!(g.jobs.iter().map(|c| c.0).collect::<Vec<_>>(), [0, 1, 2]);
+        // Chunk 1 fails; the next grant of this file must restart at 1
+        // before continuing to 3, keeping the scan sequential.
+        p.complete(LOCAL, ChunkId(0));
+        p.fail(LOCAL, ChunkId(1));
+        p.complete(LOCAL, ChunkId(2));
+        let g2 = p.request(LOCAL);
+        assert_eq!(g2.jobs.iter().map(|c| c.0).collect::<Vec<_>>(), [1, 3]);
+        assert_eq!(p.reenqueued(), 1);
+        assert_eq!(p.counters(LOCAL).failed, 1);
+    }
+
+    #[test]
+    fn failed_job_can_be_completed_by_another_cluster() {
+        let mut p = pool(PoolConfig {
+            local_batch: 16,
+            remote_batch: 16,
+            ..Default::default()
+        });
+        let g = p.request(LOCAL);
+        for j in &g.jobs {
+            p.fail(LOCAL, *j);
+        }
+        // The cloud cluster steals the returned jobs and finishes them.
+        loop {
+            let g = p.request(CLOUD);
+            if g.is_empty() {
+                break;
+            }
+            for j in g.jobs {
+                p.complete(CLOUD, j);
+            }
+        }
+        assert!(p.all_done());
+    }
+
+    #[test]
+    fn reclaim_returns_every_lease_of_a_location() {
+        let mut p = pool(PoolConfig {
+            local_batch: 4,
+            ..Default::default()
+        });
+        let g1 = p.request(LOCAL);
+        let g2 = p.request(CLOUD);
+        p.complete(LOCAL, g1.jobs[0]);
+        let returned = p.reclaim(LOCAL);
+        assert_eq!(returned.len(), g1.jobs.len() - 1);
+        assert_eq!(p.outstanding(), g2.jobs.len(), "cloud leases untouched");
+        // Reclaimed jobs are grantable again.
+        assert_eq!(p.pending(), 16 - 1 - g2.jobs.len());
+        assert!(p.reclaim(LOCAL).is_empty(), "idempotent once drained");
+    }
+
+    #[test]
+    fn job_dies_after_exceeding_failure_budget() {
+        let mut p = pool(PoolConfig {
+            local_batch: 1,
+            max_job_failures: 2,
+            ..Default::default()
+        });
+        for _ in 0..3 {
+            let g = p.request(LOCAL);
+            assert_eq!(g.jobs[0], ChunkId(0));
+            p.fail(LOCAL, g.jobs[0]);
+        }
+        assert_eq!(p.dead_jobs(), vec![ChunkId(0)]);
+        // The dead job is never granted again and blocks completion.
+        let g = p.request(LOCAL);
+        assert_ne!(g.jobs[0], ChunkId(0));
+        let mut remaining: Vec<ChunkId> = g.jobs.clone();
+        loop {
+            let g = p.request(LOCAL);
+            if g.is_empty() {
+                break;
+            }
+            remaining.extend(g.jobs);
+        }
+        for j in remaining {
+            p.complete(LOCAL, j);
+        }
+        assert!(!p.all_done(), "a dead job keeps the pool incomplete");
+        assert!(p.exhausted_for(LOCAL), "but no further grants will come");
+    }
+
+    #[test]
+    fn exhausted_for_waits_on_outstanding_jobs() {
+        let mut p = pool(PoolConfig {
+            local_batch: 16,
+            remote_batch: 16,
+            ..Default::default()
+        });
+        let mut local_jobs = Vec::new();
+        loop {
+            let g = p.request(LOCAL);
+            if g.is_empty() {
+                break;
+            }
+            local_jobs.extend(g.jobs);
+        }
+        assert_eq!(p.pending(), 0);
+        assert!(
+            !p.exhausted_for(CLOUD),
+            "outstanding jobs could fail back — cloud must keep polling"
+        );
+        let lost: Vec<ChunkId> = local_jobs.drain(8..).collect();
+        for j in local_jobs {
+            p.complete(LOCAL, j);
+        }
+        for j in lost {
+            p.fail(LOCAL, j);
+        }
+        assert!(!p.exhausted_for(CLOUD), "failed jobs are pending again");
+        loop {
+            let g = p.request(CLOUD);
+            if g.is_empty() {
+                break;
+            }
+            for j in g.jobs {
+                p.complete(CLOUD, j);
+            }
+        }
+        assert!(p.exhausted_for(CLOUD));
+        assert!(p.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed by")]
+    fn fail_by_wrong_cluster_panics() {
+        let mut p = pool(PoolConfig::default());
+        let g = p.request(LOCAL);
+        p.fail(CLOUD, g.jobs[0]);
     }
 
     #[test]

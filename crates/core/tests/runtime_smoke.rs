@@ -71,16 +71,18 @@ fn expected_sum(layout: &cb_storage::layout::DatasetLayout) -> u64 {
 fn setup(
     n_files: usize,
     frac_local: f64,
-) -> (
-    cb_storage::layout::DatasetLayout,
-    Placement,
-    StoreMap,
-) {
+) -> (cb_storage::layout::DatasetLayout, Placement, StoreMap) {
     let layout = organize_even(n_files, 4096, 512, 8).unwrap();
     let placement = Placement::split_fraction(n_files, frac_local, LOCAL, CLOUD);
     let mut stores: StoreMap = BTreeMap::new();
-    stores.insert(LOCAL, Arc::new(MemStore::new("local-store")) as Arc<dyn ObjectStore>);
-    stores.insert(CLOUD, Arc::new(MemStore::new("cloud-store")) as Arc<dyn ObjectStore>);
+    stores.insert(
+        LOCAL,
+        Arc::new(MemStore::new("local-store")) as Arc<dyn ObjectStore>,
+    );
+    stores.insert(
+        CLOUD,
+        Arc::new(MemStore::new("cloud-store")) as Arc<dyn ObjectStore>,
+    );
     materialize(&layout, &placement, &stores, fill).unwrap();
     (layout, placement, stores)
 }
@@ -196,9 +198,12 @@ fn many_small_jobs_all_processed_exactly_once() {
 }
 
 #[test]
-fn missing_file_surfaces_io_error() {
+fn missing_file_fails_the_run_without_hanging() {
     let (layout, placement, stores) = setup(4, 0.5);
-    // Sabotage: remove one cloud file after materialization.
+    // Sabotage: remove one cloud file after materialization. Its chunks can
+    // never be processed anywhere, so the run must terminate with an error
+    // naming the loss — not hang waiting, and not "succeed" with data
+    // silently dropped.
     stores[&CLOUD].delete("part-00002").unwrap();
     let deployment = two_cluster_deployment(&stores, 2, 2);
     let err = run(
@@ -210,7 +215,23 @@ fn missing_file_surfaces_io_error() {
         &RuntimeConfig::default(),
     )
     .unwrap_err();
-    assert!(matches!(err, RuntimeError::Io(_)), "got {err:?}");
+    match err {
+        RuntimeError::JobsFailed {
+            dead,
+            unfinished,
+            last_error,
+        } => {
+            assert!(
+                !dead.is_empty() || unfinished > 0,
+                "some chunks must be reported lost"
+            );
+            assert!(
+                last_error.unwrap().contains("part-00002"),
+                "error names the missing file"
+            );
+        }
+        other => panic!("expected JobsFailed, got {other:?}"),
+    }
 }
 
 #[test]

@@ -97,7 +97,10 @@ pub fn run_mapreduce<J: MapReduce>(
     inputs: Vec<J::Input>,
     cfg: &MRConfig,
 ) -> (Vec<J::Output>, MRStats) {
-    assert!(cfg.mappers > 0 && cfg.reducers > 0, "need at least one mapper and reducer");
+    assert!(
+        cfg.mappers > 0 && cfg.reducers > 0,
+        "need at least one mapper and reducer"
+    );
     assert!(cfg.flush_threshold > 0, "flush threshold must be positive");
 
     let emitted = AtomicU64::new(0);
@@ -131,8 +134,7 @@ pub fn run_mapreduce<J: MapReduce>(
                 let cur_buffered = &cur_buffered;
                 let peak_buffered = &peak_buffered;
                 scope.spawn(move || {
-                    let mut buckets: Buckets<J> =
-                        (0..cfg.reducers).map(|_| Vec::new()).collect();
+                    let mut buckets: Buckets<J> = (0..cfg.reducers).map(|_| Vec::new()).collect();
                     let mut since_flush = 0usize;
                     for split in &splits {
                         // The flush check lives inside the emit path so a

@@ -310,6 +310,7 @@ pub fn build_params(app: App, env: &EnvSpec, net: &NetConstants, seed: u64) -> S
         // min-readers stealing heuristic avoids this.
         file_contention_bw_factor: 0.7,
         seed,
+        faults: crate::params::FaultPlan::default(),
     }
 }
 
@@ -351,10 +352,22 @@ pub fn build_multicloud_params(
     let placement = Placement::from_homes(homes);
 
     let links = vec![
-        LinkSpec { name: "disk".into(), bps: net.disk_bps },
-        LinkSpec { name: "s3a".into(), bps: net.s3_bps },
-        LinkSpec { name: "wan".into(), bps: net.wan_bps },
-        LinkSpec { name: "s3b".into(), bps: net.s3_bps },
+        LinkSpec {
+            name: "disk".into(),
+            bps: net.disk_bps,
+        },
+        LinkSpec {
+            name: "s3a".into(),
+            bps: net.s3_bps,
+        },
+        LinkSpec {
+            name: "wan".into(),
+            bps: net.wan_bps,
+        },
+        LinkSpec {
+            name: "s3b".into(),
+            bps: net.s3_bps,
+        },
     ];
     let own_path = |site: LocationId| match site {
         LOCAL => PathSpec {
@@ -416,6 +429,7 @@ pub fn build_multicloud_params(
         nonseq_bw_factor: 0.65,
         file_contention_bw_factor: 0.7,
         seed,
+        faults: crate::params::FaultPlan::default(),
     }
 }
 
@@ -506,11 +520,20 @@ mod tests {
     #[test]
     fn unit_counts_match_paper_magnitudes() {
         let knn = paper_layout(profile(App::Knn).unit_bytes).total_units();
-        assert!((knn as f64 - 32.1e9).abs() / 32.1e9 < 0.1, "knn units {knn}");
+        assert!(
+            (knn as f64 - 32.1e9).abs() / 32.1e9 < 0.1,
+            "knn units {knn}"
+        );
         let km = paper_layout(profile(App::KMeans).unit_bytes).total_units();
-        assert!((km as f64 - 10.7e9).abs() / 10.7e9 < 0.1, "kmeans units {km}");
+        assert!(
+            (km as f64 - 10.7e9).abs() / 10.7e9 < 0.1,
+            "kmeans units {km}"
+        );
         let pr = paper_layout(profile(App::PageRank).unit_bytes).total_units();
-        assert!((pr as f64 - 9.26e8).abs() / 9.26e8 < 0.05, "pagerank units {pr}");
+        assert!(
+            (pr as f64 - 9.26e8).abs() / 9.26e8 < 0.05,
+            "pagerank units {pr}"
+        );
     }
 
     #[test]
@@ -519,7 +542,8 @@ mod tests {
         for app in App::ALL {
             for env in fig3_envs(app) {
                 let p = build_params(app, &env, &net, 1);
-                p.validate().unwrap_or_else(|e| panic!("{}/{}: {e}", app.name(), env.name));
+                p.validate()
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", app.name(), env.name));
             }
             for m in FIG4_CORES {
                 build_fig4_params(app, m, &net, 1).validate().unwrap();

@@ -139,7 +139,10 @@ pub fn average_slowdown_pct(net: &NetConstants, seed: u64) -> f64 {
     for app in App::ALL {
         let rows = run_fig3(app, net, seed);
         let baseline = &rows[0].report;
-        for r in rows.iter().filter(|r| r.local_cores > 0 && r.cloud_cores > 0) {
+        for r in rows
+            .iter()
+            .filter(|r| r.local_cores > 0 && r.cloud_cores > 0)
+        {
             ratios.push(r.report.slowdown_ratio_vs(baseline) * 100.0);
         }
     }
@@ -174,7 +177,10 @@ fn ablation_row(variant: impl Into<String>, report: &RunReport) -> AblationRow {
     AblationRow {
         variant: variant.into(),
         total_s: report.total_s,
-        retrieval_local_s: report.cluster("local").map(|c| c.retrieval_s).unwrap_or(0.0),
+        retrieval_local_s: report
+            .cluster("local")
+            .map(|c| c.retrieval_s)
+            .unwrap_or(0.0),
         retrieval_ec2_s: report.cluster("EC2").map(|c| c.retrieval_s).unwrap_or(0.0),
         idle_max_s: report
             .clusters
@@ -206,17 +212,26 @@ pub fn ablate_contention(net: &NetConstants, seed: u64) -> Vec<AblationRow> {
     let env = &calib::fig3_envs(App::Knn)[4]; // env-17/83: heavy stealing
     let mut out = Vec::new();
     let p = calib::build_params(App::Knn, env, net, seed);
-    out.push(ablation_row("min-readers heuristic (paper)", &simulate(p).unwrap()));
+    out.push(ablation_row(
+        "min-readers heuristic (paper)",
+        &simulate(p).unwrap(),
+    ));
     // Adversarial selection: steal many tiny batches so concurrent readers
     // pile onto few files (remote_batch 1 with contention penalty).
     let mut p = calib::build_params(App::Knn, env, net, seed);
     p.pool.remote_batch = 1;
     p.file_contention_bw_factor = 0.5;
-    out.push(ablation_row("fine-grained steal, heavier contention", &simulate(p).unwrap()));
+    out.push(ablation_row(
+        "fine-grained steal, heavier contention",
+        &simulate(p).unwrap(),
+    ));
     // No contention effect at all (upper bound).
     let mut p = calib::build_params(App::Knn, env, net, seed);
     p.file_contention_bw_factor = 1.0;
-    out.push(ablation_row("no contention penalty (upper bound)", &simulate(p).unwrap()));
+    out.push(ablation_row(
+        "no contention penalty (upper bound)",
+        &simulate(p).unwrap(),
+    ));
     out
 }
 
@@ -241,7 +256,10 @@ pub fn ablate_retrieval_streams(net: &NetConstants, seed: u64) -> Vec<AblationRo
         let mut n = *net;
         n.s3_streams = streams;
         let p = calib::build_params(App::Knn, env, &n, seed);
-        out.push(ablation_row(format!("{streams} retrieval streams"), &simulate(p).unwrap()));
+        out.push(ablation_row(
+            format!("{streams} retrieval streams"),
+            &simulate(p).unwrap(),
+        ));
     }
     out
 }
@@ -270,6 +288,87 @@ pub fn ablate_prefetch(net: &NetConstants, seed: u64) -> Vec<AblationRow> {
         .collect()
 }
 
+/// One row of the failure ablation: a fault schedule next to its cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureAblationRow {
+    pub variant: String,
+    pub total_s: f64,
+    /// Extra time over the failure-free run, percent.
+    pub penalty_pct: f64,
+    pub fetch_failures: u64,
+    pub jobs_reenqueued: u64,
+    pub slaves_killed: u64,
+    /// Jobs the local cluster took over from cloud-homed data.
+    pub local_stolen: u64,
+}
+
+/// Failure ablation (§III-C's recovery claim, quantified): because
+/// generalized reduction only needs the reduction objects plus the set of
+/// unprocessed chunks, killed slaves and failed fetches cost re-execution
+/// time — never correctness. Runs env-50/50 under escalating fault
+/// schedules and reports the time penalty of each.
+pub fn ablate_failures(net: &NetConstants, seed: u64) -> Vec<FailureAblationRow> {
+    use cloudburst_core::config::SlaveKill;
+    let env = &calib::fig3_envs(App::Knn)[2]; // env-50/50 hybrid
+    let cloud = env.cloud_cores;
+    let schedules: Vec<(String, crate::params::FaultPlan)> = vec![
+        ("failure-free (paper)".into(), Default::default()),
+        (
+            "2% fetch faults".into(),
+            crate::params::FaultPlan {
+                fetch_failure_prob: 0.02,
+                ..Default::default()
+            },
+        ),
+        (
+            format!("kill {} of {cloud} EC2 cores mid-run", cloud / 2),
+            crate::params::FaultPlan {
+                kill_schedule: (0..cloud / 2)
+                    .map(|s| SlaveKill {
+                        cluster: 1,
+                        slave: s,
+                        after_jobs: 5,
+                    })
+                    .collect(),
+                ..Default::default()
+            },
+        ),
+        (
+            "lose the EC2 cluster at startup".into(),
+            crate::params::FaultPlan {
+                kill_schedule: (0..cloud)
+                    .map(|s| SlaveKill {
+                        cluster: 1,
+                        slave: s,
+                        after_jobs: 0,
+                    })
+                    .collect(),
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut out = Vec::new();
+    let mut baseline_s = 0.0f64;
+    for (variant, faults) in schedules {
+        let mut p = calib::build_params(App::Knn, env, net, seed);
+        p.faults = faults;
+        let report = simulate(p).expect("failure ablation");
+        if out.is_empty() {
+            baseline_s = report.total_s;
+        }
+        out.push(FailureAblationRow {
+            variant,
+            total_s: report.total_s,
+            penalty_pct: (report.total_s / baseline_s - 1.0) * 100.0,
+            fetch_failures: report.recovery.fetch_failures,
+            jobs_reenqueued: report.recovery.jobs_reenqueued,
+            slaves_killed: report.recovery.slaves_killed,
+            local_stolen: report.cluster("local").map(|c| c.jobs_stolen).unwrap_or(0),
+        });
+    }
+    out
+}
+
 /// EC2 performance variability: how total time degrades with jitter under
 /// pool-based balancing.
 pub fn ablate_jitter(net: &NetConstants, seed: u64) -> Vec<AblationRow> {
@@ -282,7 +381,10 @@ pub fn ablate_jitter(net: &NetConstants, seed: u64) -> Vec<AblationRow> {
                 c.jitter_cv = cv;
             }
         }
-        out.push(ablation_row(format!("EC2 jitter cv={cv}"), &simulate(p).unwrap()));
+        out.push(ablation_row(
+            format!("EC2 jitter cv={cv}"),
+            &simulate(p).unwrap(),
+        ));
     }
     out
 }
@@ -341,7 +443,10 @@ mod tests {
     #[test]
     fn table2_pagerank_global_reduction_dominates_apps() {
         let knn = table2(App::Knn, &run_fig3(App::Knn, &net(), DEFAULT_SEED));
-        let pr = table2(App::PageRank, &run_fig3(App::PageRank, &net(), DEFAULT_SEED));
+        let pr = table2(
+            App::PageRank,
+            &run_fig3(App::PageRank, &net(), DEFAULT_SEED),
+        );
         // knn's robj is tiny; pagerank's is 300 MB.
         assert!(knn[0].global_reduction_s < 1.0, "{:?}", knn[0]);
         assert!(
@@ -577,7 +682,12 @@ mod extension_tests {
             assert_eq!(r.report.clusters.len(), 3);
             // Each cloud processes work; nobody is starved outright.
             for c in &r.report.clusters {
-                assert!(c.jobs_processed > 0, "{} idle at frac={}", c.name, r.frac_local);
+                assert!(
+                    c.jobs_processed > 0,
+                    "{} idle at frac={}",
+                    c.name,
+                    r.frac_local
+                );
             }
         }
         // With no local data, the local cluster's work is all stolen.
@@ -656,6 +766,30 @@ mod extension_tests {
     }
 
     #[test]
+    fn failure_ablation_costs_time_never_jobs() {
+        let rows = ablate_failures(&NetConstants::default(), DEFAULT_SEED);
+        assert_eq!(rows.len(), 4);
+        let base = &rows[0];
+        assert_eq!(base.fetch_failures, 0);
+        assert_eq!(base.slaves_killed, 0);
+        // Fetch faults at 2% over 960 jobs must both occur and be re-run.
+        assert!(rows[1].fetch_failures > 0, "{rows:?}");
+        assert_eq!(rows[1].fetch_failures, rows[1].jobs_reenqueued);
+        // Losing the whole cloud forces the local cluster to steal roughly
+        // half the dataset, at a large but finite cost.
+        let lost = rows.last().unwrap();
+        assert!(lost.slaves_killed as usize > 0);
+        assert!(
+            lost.local_stolen > 400,
+            "local must absorb the cloud's ~480 jobs: {lost:?}"
+        );
+        assert!(
+            lost.penalty_pct > rows[1].penalty_pct,
+            "total cluster loss must cost more than sparse faults: {rows:?}"
+        );
+    }
+
+    #[test]
     fn timeline_shows_busy_slaves() {
         let (report, trace) = run_timeline(App::Knn, &NetConstants::default(), DEFAULT_SEED);
         assert_eq!(report.total_jobs(), 960);
@@ -663,11 +797,7 @@ mod extension_tests {
         // Pool balancing keeps every cluster quite busy.
         for (ci, c) in report.clusters.iter().enumerate() {
             let u = trace.cluster_utilization(ci);
-            assert!(
-                u > 0.7,
-                "cluster {} utilization only {u:.2}",
-                c.name
-            );
+            assert!(u > 0.7, "cluster {} utilization only {u:.2}", c.name);
         }
         let gantt = trace.render_gantt(80);
         assert!(gantt.lines().count() >= 33, "one row per slave plus header");

@@ -16,5 +16,5 @@ pub mod params;
 pub mod trace;
 
 pub use model::{simulate, simulate_traced};
-pub use trace::{Span, SpanKind, Trace};
 pub use params::{LinkSpec, PathSpec, SimCluster, SimParams};
+pub use trace::{Span, SpanKind, Trace};

@@ -20,7 +20,7 @@ use cb_simnet::link::FairShareLink;
 use cb_simnet::rng::DetRng;
 use cb_simnet::time::{SimDur, SimTime};
 use cb_storage::layout::ChunkId;
-use cloudburst_core::report::{ClusterBreakdown, RunReport};
+use cloudburst_core::report::{ClusterBreakdown, RecoveryStats, RunReport};
 use cloudburst_core::sched::master::MasterPool;
 use cloudburst_core::sched::pool::JobPool;
 use std::collections::VecDeque;
@@ -74,6 +74,7 @@ struct SlaveState {
     stolen_jobs: u64,
     bytes_local: u64,
     bytes_remote: u64,
+    consecutive_failures: u32,
     finish: Option<SimTime>,
 }
 
@@ -103,6 +104,8 @@ struct SimWorld {
     arrived_robjs: usize,
     final_done: Option<SimTime>,
     last_local_done: SimTime,
+    /// Injected-failure accounting, mirroring the runtime's report.
+    recovery: RecoveryStats,
     /// Activity spans, when tracing is enabled.
     trace: Option<Trace>,
 }
@@ -147,6 +150,7 @@ impl SimWorld {
             arrived_robjs: 0,
             final_done: None,
             last_local_done: SimTime::ZERO,
+            recovery: RecoveryStats::default(),
             trace: with_trace.then(Trace::default),
         }
     }
@@ -176,7 +180,10 @@ impl SimWorld {
     }
 
     /// A slave asks its master for work (after optionally reporting a
-    /// completed job). Mirrors `master_loop` + `slave_loop` of the runtime.
+    /// completed job). Mirrors `master_loop` + `slave_loop` of the runtime:
+    /// the kill schedule is consulted at the job boundary, exactly where the
+    /// real slave checks it, so a killed slave's counted work is identical in
+    /// both worlds. Parks the slave; [`SimWorld::settle`] hands out jobs.
     fn slave_request(
         &mut self,
         ctx: &mut Ctx<'_, Ev>,
@@ -188,12 +195,78 @@ impl SimWorld {
         if let Some(job) = completed {
             self.pool.complete(loc, job);
         }
+        let jobs_done = self.clusters[c].slaves[s].jobs;
+        let killed = self
+            .params
+            .faults
+            .kill_schedule
+            .iter()
+            .any(|k| k.cluster == c && k.slave == s && jobs_done >= k.after_jobs);
+        if killed {
+            self.recovery.slaves_killed += 1;
+            self.retire_slave(ctx, c, s);
+            return;
+        }
         self.clusters[c].waiting.push_back(s);
-        self.dispatch(ctx, c);
+    }
+
+    /// Take slave `s` out of service permanently (fail-stop or too many
+    /// consecutive fetch failures). Its partial reduction object survives as
+    /// a checkpoint, so nothing else needs saving — the GR recovery model.
+    fn retire_slave(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, s: usize) {
+        let st = &mut self.clusters[c].slaves[s];
+        if st.finish.is_none() {
+            st.finish = Some(ctx.now());
+            self.clusters[c].finished_slaves += 1;
+        }
+        self.maybe_cluster_done(ctx, c);
+    }
+
+    /// If every slave of cluster `c` has finished (or died), wind the
+    /// cluster down: return undispatched leases to the head and schedule the
+    /// local combination of whatever reduction objects exist.
+    fn maybe_cluster_done(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        if self.clusters[c].finished_slaves != self.clusters[c].slaves.len()
+            || self.clusters[c].local_done.is_some()
+        {
+            return;
+        }
+        // A dying master returns its leases; survivors pick them up.
+        let leases = self.clusters[c].mp.drain();
+        let loc = self.params.clusters[c].location;
+        for job in leases {
+            self.pool.fail(loc, job.chunk);
+        }
+        // Local combination: (cores-1) pairwise merges of the robj.
+        let merges = (self.clusters[c].slaves.len() as f64 - 1.0).max(0.0);
+        let combine =
+            SimDur::from_secs_f64(merges * self.params.robj_bytes as f64 / self.params.merge_bps);
+        self.clusters[c].local_done = Some(ctx.now() + combine);
+        ctx.schedule_after(combine, Ev::RobjSend { c });
+    }
+
+    /// Run every cluster's dispatch to a fixed point. A completion or a
+    /// fail-back at one cluster can unpark slaves at another (a returned
+    /// lease becomes stealable; the last outstanding job completing turns an
+    /// empty pool into an exhausted one), so dispatching only the cluster
+    /// that saw the event is not enough.
+    fn settle(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        loop {
+            let before = (self.pool.pending(), self.pool.outstanding());
+            for c in 0..self.clusters.len() {
+                self.dispatch(ctx, c);
+            }
+            if (self.pool.pending(), self.pool.outstanding()) == before {
+                break;
+            }
+        }
     }
 
     /// Hand queued jobs to waiting slaves; refill / finish as appropriate.
     fn dispatch(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        if self.clusters[c].local_done.is_some() {
+            return; // cluster already wound down (possibly by losing all slaves)
+        }
         let loc = self.params.clusters[c].location;
         let rtt = self.params.clusters[c].rtt_to_head;
 
@@ -204,7 +277,10 @@ impl SimWorld {
                     break;
                 };
                 let s = self.clusters[c].waiting.pop_front().expect("non-empty");
-                let home = self.params.placement.home(self.params.layout.chunk(job.chunk).file);
+                let home = self
+                    .params
+                    .placement
+                    .home(self.params.layout.chunk(job.chunk).file);
                 let path = self.params.path(loc, home);
                 let seq = self.clusters[c].expected_next == Some(job.chunk.0);
                 self.clusters[c].expected_next = Some(job.chunk.0 + 1);
@@ -230,8 +306,17 @@ impl SimWorld {
                 if rtt.is_zero() {
                     // Colocated master: decide immediately.
                     let grant = self.pool.request(loc);
+                    let granted = !grant.jobs.is_empty();
                     self.clusters[c].mp.on_grant(grant.jobs, grant.stolen);
-                    continue; // loop to serve newly arrived jobs
+                    if granted {
+                        continue; // loop to serve newly arrived jobs
+                    }
+                    // Empty grant: only the end if the pool is truly out of
+                    // work for this site. Otherwise jobs leased elsewhere may
+                    // still fail back, so the parked slaves just wait.
+                    if self.pool.exhausted_for(loc) {
+                        self.clusters[c].mp.mark_exhausted();
+                    }
                 } else {
                     ctx.schedule_after(rtt, Ev::GrantArrive { c });
                 }
@@ -248,17 +333,7 @@ impl SimWorld {
                     self.clusters[c].finished_slaves += 1;
                 }
             }
-            if self.clusters[c].finished_slaves == self.clusters[c].slaves.len()
-                && self.clusters[c].local_done.is_none()
-            {
-                // Local combination: (cores-1) pairwise merges of the robj.
-                let merges = (self.clusters[c].slaves.len() as f64 - 1.0).max(0.0);
-                let combine = SimDur::from_secs_f64(
-                    merges * self.params.robj_bytes as f64 / self.params.merge_bps,
-                );
-                self.clusters[c].local_done = Some(ctx.now() + combine);
-                ctx.schedule_after(combine, Ev::RobjSend { c });
-            }
+            self.maybe_cluster_done(ctx, c);
         }
     }
 
@@ -273,7 +348,9 @@ impl SimWorld {
             // Final global reduction at the head.
             let merges = (self.clusters.len() as f64 - 1.0).max(0.0);
             let cost = self.params.global_reduction_base
-                + SimDur::from_secs_f64(merges * self.params.robj_bytes as f64 / self.params.merge_bps);
+                + SimDur::from_secs_f64(
+                    merges * self.params.robj_bytes as f64 / self.params.merge_bps,
+                );
             ctx.schedule_after(cost, Ev::FinalDone);
         }
     }
@@ -292,12 +369,25 @@ impl World for SimWorld {
                 }
             }
             Ev::GrantArrive { c } => {
-                let loc = self.params.clusters[c].location;
-                let grant = self.pool.request(loc);
-                self.clusters[c].mp.on_grant(grant.jobs, grant.stolen);
-                self.dispatch(ctx, c);
+                // A cluster that died while the request was in flight must
+                // not take a lease it can never serve.
+                if self.clusters[c].finished_slaves < self.clusters[c].slaves.len() {
+                    let loc = self.params.clusters[c].location;
+                    let grant = self.pool.request(loc);
+                    let granted = !grant.jobs.is_empty();
+                    self.clusters[c].mp.on_grant(grant.jobs, grant.stolen);
+                    if !granted && self.pool.exhausted_for(loc) {
+                        self.clusters[c].mp.mark_exhausted();
+                    }
+                }
             }
-            Ev::FetchBegin { c, s, job, stolen, seq } => {
+            Ev::FetchBegin {
+                c,
+                s,
+                job,
+                stolen,
+                seq,
+            } => {
                 let loc = self.params.clusters[c].location;
                 let chunk = *self.params.layout.chunk(job);
                 let home = self.params.placement.home(chunk.file);
@@ -352,8 +442,37 @@ impl World for SimWorld {
                         } => {
                             let chunk = *self.params.layout.chunk(job);
                             self.active_per_file[chunk.file.0 as usize] -= 1;
+                            // A fetch fault surfaces only after transport —
+                            // the simulated analogue of the retriever
+                            // exhausting its retries against a flaky store.
+                            // The `prob > 0` guard keeps failure-free runs
+                            // byte-identical to pre-fault seeds (no extra
+                            // RNG draw).
+                            let prob = self.params.faults.fetch_failure_prob;
+                            let failed = prob > 0.0 && self.clusters[c].rngs[s].chance(prob);
                             let st = &mut self.clusters[c].slaves[s];
                             st.busy_fetch += ctx.now() - started;
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.record(c, s, SpanKind::Fetch, started, ctx.now());
+                            }
+                            if failed {
+                                self.recovery.fetch_failures += 1;
+                                let st = &mut self.clusters[c].slaves[s];
+                                st.consecutive_failures += 1;
+                                let retire = st.consecutive_failures
+                                    >= self.params.faults.slave_failure_threshold;
+                                let loc = self.params.clusters[c].location;
+                                self.pool.fail(loc, job);
+                                if retire {
+                                    self.recovery.slaves_retired += 1;
+                                    self.retire_slave(ctx, c, s);
+                                } else {
+                                    self.clusters[c].waiting.push_back(s);
+                                }
+                                continue;
+                            }
+                            let st = &mut self.clusters[c].slaves[s];
+                            st.consecutive_failures = 0;
                             if stolen {
                                 st.bytes_remote += chunk.len;
                             } else {
@@ -363,11 +482,9 @@ impl World for SimWorld {
                                 let cv = self.params.clusters[c].jitter_cv;
                                 self.clusters[c].rngs[s].jitter(cv)
                             };
-                            let proc =
-                                self.params.clusters[c].proc_time(s, chunk.units, jitter);
+                            let proc = self.params.clusters[c].proc_time(s, chunk.units, jitter);
                             self.clusters[c].slaves[s].busy_proc += proc;
                             if let Some(tr) = self.trace.as_mut() {
-                                tr.record(c, s, SpanKind::Fetch, started, ctx.now());
                                 tr.record(c, s, SpanKind::Process, ctx.now(), ctx.now() + proc);
                             }
                             ctx.schedule_after(proc, Ev::ProcessDone { c, s, job });
@@ -407,6 +524,9 @@ impl World for SimWorld {
                 self.final_done = Some(ctx.now());
             }
         }
+        // Any of the above may have parked slaves, completed jobs, or failed
+        // jobs back into the head pool; bring every cluster up to date.
+        self.settle(ctx);
     }
 }
 
@@ -442,18 +562,35 @@ fn simulate_inner(
         .saturating_since(SimTime::ZERO);
     let last_local = world.last_local_done;
 
-    // Pool-level sanity: every job granted was completed.
-    assert!(
-        world.pool.all_done() || !world.params.pool.allow_stealing,
-        "simulation ended with unfinished jobs"
-    );
+    // Every job must have been folded exactly once. With injected failures
+    // this can legitimately fail (a chunk exceeding its failure budget, or
+    // every slave dead); surface that as an error naming the loss, the same
+    // contract as the runtime's `RuntimeError::JobsFailed`.
+    if !world.pool.all_done() {
+        return Err(format!(
+            "simulation ended with unfinished jobs: {} dead, {} pending, {} outstanding",
+            world.pool.dead_jobs().len(),
+            world.pool.pending(),
+            world.pool.outstanding(),
+        ));
+    }
 
     let mut clusters = Vec::with_capacity(world.clusters.len());
     for (ci, c) in world.clusters.iter().enumerate() {
         let spec = &world.params.clusters[ci];
         let n = c.slaves.len().max(1) as f64;
-        let proc_s: f64 = c.slaves.iter().map(|s| s.busy_proc.as_secs_f64()).sum::<f64>() / n;
-        let fetch_s: f64 = c.slaves.iter().map(|s| s.busy_fetch.as_secs_f64()).sum::<f64>() / n;
+        let proc_s: f64 = c
+            .slaves
+            .iter()
+            .map(|s| s.busy_proc.as_secs_f64())
+            .sum::<f64>()
+            / n;
+        let fetch_s: f64 = c
+            .slaves
+            .iter()
+            .map(|s| s.busy_fetch.as_secs_f64())
+            .sum::<f64>()
+            / n;
         let local_done = c.local_done.unwrap_or(world.final_done.unwrap_or(end));
         let wall_s = local_done.as_secs_f64();
         clusters.push(ClusterBreakdown {
@@ -479,6 +616,10 @@ fn simulate_inner(
             .as_secs_f64(),
         robj_bytes: world.params.robj_bytes,
         clusters,
+        recovery: RecoveryStats {
+            jobs_reenqueued: world.pool.reenqueued(),
+            ..world.recovery
+        },
     };
     Ok((report, world.trace))
 }
@@ -489,6 +630,7 @@ mod tests {
     use crate::params::{LinkSpec, PathSpec, SimCluster};
     use cb_storage::layout::{LocationId, Placement};
     use cb_storage::organizer::organize_even;
+    use cloudburst_core::config::SlaveKill;
     use cloudburst_core::sched::pool::PoolConfig;
     use std::collections::BTreeMap;
 
@@ -501,15 +643,56 @@ mod tests {
         let layout = organize_even(8, 1 << 20, 1 << 18, 64).unwrap();
         let placement = Placement::split_fraction(8, frac_local, L, C);
         let links = vec![
-            LinkSpec { name: "disk".into(), bps: 100.0e6 },
-            LinkSpec { name: "s3".into(), bps: 100.0e6 },
-            LinkSpec { name: "wan".into(), bps: 20.0e6 },
+            LinkSpec {
+                name: "disk".into(),
+                bps: 100.0e6,
+            },
+            LinkSpec {
+                name: "s3".into(),
+                bps: 100.0e6,
+            },
+            LinkSpec {
+                name: "wan".into(),
+                bps: 20.0e6,
+            },
         ];
         let mut paths = BTreeMap::new();
-        paths.insert((L, L), PathSpec { link: 0, latency: SimDur::from_micros(200), per_conn_bps: 50.0e6, streams: 1 });
-        paths.insert((C, C), PathSpec { link: 1, latency: SimDur::from_millis(5), per_conn_bps: 10.0e6, streams: 4 });
-        paths.insert((L, C), PathSpec { link: 2, latency: SimDur::from_millis(40), per_conn_bps: 3.0e6, streams: 4 });
-        paths.insert((C, L), PathSpec { link: 2, latency: SimDur::from_millis(40), per_conn_bps: 3.0e6, streams: 4 });
+        paths.insert(
+            (L, L),
+            PathSpec {
+                link: 0,
+                latency: SimDur::from_micros(200),
+                per_conn_bps: 50.0e6,
+                streams: 1,
+            },
+        );
+        paths.insert(
+            (C, C),
+            PathSpec {
+                link: 1,
+                latency: SimDur::from_millis(5),
+                per_conn_bps: 10.0e6,
+                streams: 4,
+            },
+        );
+        paths.insert(
+            (L, C),
+            PathSpec {
+                link: 2,
+                latency: SimDur::from_millis(40),
+                per_conn_bps: 3.0e6,
+                streams: 4,
+            },
+        );
+        paths.insert(
+            (C, L),
+            PathSpec {
+                link: 2,
+                latency: SimDur::from_millis(40),
+                per_conn_bps: 3.0e6,
+                streams: 4,
+            },
+        );
         SimParams {
             layout,
             placement,
@@ -530,6 +713,7 @@ mod tests {
             nonseq_bw_factor: 1.0,
             file_contention_bw_factor: 1.0,
             seed: 7,
+            faults: crate::params::FaultPlan::default(),
         }
     }
 
@@ -590,7 +774,11 @@ mod tests {
         p.pool.allow_stealing = false;
         let n_jobs = p.layout.n_jobs() as u64;
         let r = simulate(p).unwrap();
-        assert_eq!(r.total_jobs(), n_jobs, "home clusters finish their own jobs");
+        assert_eq!(
+            r.total_jobs(),
+            n_jobs,
+            "home clusters finish their own jobs"
+        );
         assert_eq!(r.total_stolen(), 0);
     }
 
@@ -599,11 +787,21 @@ mod tests {
         let r = simulate(params(0.33)).unwrap();
         for c in &r.clusters {
             let sum = c.processing_s + c.retrieval_s + c.sync_s;
-            assert!((sum - c.wall_s).abs() < 1e-6, "{}: {} != {}", c.name, sum, c.wall_s);
+            assert!(
+                (sum - c.wall_s).abs() < 1e-6,
+                "{}: {} != {}",
+                c.name,
+                sum,
+                c.wall_s
+            );
             assert!(c.wall_s <= r.total_s + 1e-9);
         }
         // Total bytes moved equal the dataset.
-        let moved: u64 = r.clusters.iter().map(|c| c.bytes_local + c.bytes_remote).sum();
+        let moved: u64 = r
+            .clusters
+            .iter()
+            .map(|c| c.bytes_local + c.bytes_remote)
+            .sum();
         assert_eq!(moved, 8 * (1 << 20));
     }
 
@@ -611,11 +809,8 @@ mod tests {
     fn straggler_inflates_sync_of_peers() {
         let base = simulate(params(0.5)).unwrap();
         let mut p = params(0.5);
-        p.clusters[0] = std::mem::replace(
-            &mut p.clusters[0],
-            SimCluster::new("x", L, 1, 0.0),
-        )
-        .with_straggler(0, 50.0);
+        p.clusters[0] = std::mem::replace(&mut p.clusters[0], SimCluster::new("x", L, 1, 0.0))
+            .with_straggler(0, 50.0);
         let slowed = simulate(p).unwrap();
         assert!(
             slowed.total_s > base.total_s,
@@ -647,6 +842,117 @@ mod tests {
             "64 MiB robj should add >5s: {} vs {}",
             big.global_reduction_s,
             small.global_reduction_s
+        );
+    }
+
+    #[test]
+    fn killed_slaves_leave_work_to_survivors() {
+        // Compute-bound so the number of live cores is what matters.
+        let compute_bound = |frac| {
+            let mut p = params(frac);
+            p.clusters[0].ns_per_unit = 50_000.0;
+            p.clusters[1].ns_per_unit = 50_000.0;
+            p
+        };
+        let baseline = simulate(compute_bound(0.5)).unwrap();
+        let mut p = compute_bound(0.5);
+        p.faults.kill_schedule = vec![
+            SlaveKill {
+                cluster: 1,
+                slave: 0,
+                after_jobs: 1,
+            },
+            SlaveKill {
+                cluster: 1,
+                slave: 2,
+                after_jobs: 3,
+            },
+        ];
+        let n_jobs = p.layout.n_jobs() as u64;
+        let r = simulate(p).unwrap();
+        assert_eq!(r.total_jobs(), n_jobs, "no chunk lost to the kills");
+        assert_eq!(r.recovery.slaves_killed, 2);
+        // The dead slaves' leases stay with their master, so the surviving
+        // cores grind through the same job set with half the parallelism:
+        // the run must get strictly slower.
+        assert!(
+            r.total_s > baseline.total_s,
+            "halving a compute-bound cluster must cost time: {} vs {}",
+            r.total_s,
+            baseline.total_s
+        );
+    }
+
+    #[test]
+    fn losing_a_whole_cluster_reassigns_its_data() {
+        let mut p = params(0.5);
+        p.faults.kill_schedule = (0..4)
+            .map(|s| SlaveKill {
+                cluster: 1,
+                slave: s,
+                after_jobs: if s == 0 { 1 } else { 0 },
+            })
+            .collect();
+        let n_jobs = p.layout.n_jobs() as u64;
+        let r = simulate(p).unwrap();
+        assert_eq!(r.total_jobs(), n_jobs);
+        assert_eq!(r.recovery.slaves_killed, 4);
+        let local = r.cluster("local").unwrap();
+        assert!(
+            local.jobs_stolen > 0,
+            "the survivor must take over cloud-homed chunks"
+        );
+        assert!(
+            r.recovery.jobs_reenqueued > 0,
+            "the dead master's leases must have been returned"
+        );
+    }
+
+    #[test]
+    fn fetch_faults_are_reenqueued_until_done() {
+        let mut p = params(0.5);
+        p.faults.fetch_failure_prob = 0.25;
+        p.faults.slave_failure_threshold = 10; // faults, not deaths
+        let n_jobs = p.layout.n_jobs() as u64;
+        let r = simulate(p).unwrap();
+        assert_eq!(r.total_jobs(), n_jobs, "every failed fetch was re-run");
+        assert!(r.recovery.fetch_failures > 0, "32 jobs at 25% must fault");
+        assert_eq!(r.recovery.jobs_reenqueued, r.recovery.fetch_failures);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_too() {
+        let mk = || {
+            let mut p = params(0.33);
+            p.faults.fetch_failure_prob = 0.1;
+            p.faults.kill_schedule = vec![SlaveKill {
+                cluster: 0,
+                slave: 1,
+                after_jobs: 2,
+            }];
+            p
+        };
+        let a = simulate(mk()).unwrap();
+        let b = simulate(mk()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn losing_every_slave_everywhere_errors_instead_of_hanging() {
+        let mut p = params(0.5);
+        for c in 0..2 {
+            for s in 0..4 {
+                p.faults.kill_schedule.push(SlaveKill {
+                    cluster: c,
+                    slave: s,
+                    after_jobs: 0,
+                });
+            }
+        }
+        let err = simulate(p).unwrap_err();
+        assert!(
+            err.contains("unfinished jobs"),
+            "total loss must surface, got: {err}"
         );
     }
 

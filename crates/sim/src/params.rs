@@ -13,8 +13,42 @@
 
 use cb_simnet::time::SimDur;
 use cb_storage::layout::{DatasetLayout, LocationId, Placement};
+use cloudburst_core::config::SlaveKill;
 use cloudburst_core::sched::pool::PoolConfig;
 use std::collections::BTreeMap;
+
+/// Fault-injection plan for a simulated run, mirroring the real runtime's
+/// `kill_schedule` / flaky-store knobs. The default plan is failure-free.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Scheduled slave fail-stops (taken at job boundaries, like the
+    /// runtime: the slave's reduction object survives as a checkpoint).
+    pub kill_schedule: Vec<SlaveKill>,
+    /// Probability that a chunk fetch fails *after* transport — the
+    /// simulated analogue of a flaky store exhausting the retriever's
+    /// retries. Decided per fetch from the slave's seeded RNG stream.
+    pub fetch_failure_prob: f64,
+    /// A slave retires after this many consecutive fetch failures
+    /// (mirror of `RuntimeConfig::slave_failure_threshold`).
+    pub slave_failure_threshold: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            kill_schedule: Vec::new(),
+            fetch_failure_prob: 0.0,
+            slave_failure_threshold: 3,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when this plan injects nothing.
+    pub fn is_failure_free(&self) -> bool {
+        self.kill_schedule.is_empty() && self.fetch_failure_prob == 0.0
+    }
+}
 
 /// One shared bottleneck link (disk array, S3 frontend, WAN pipe).
 #[derive(Debug, Clone)]
@@ -64,7 +98,12 @@ pub struct SimCluster {
 }
 
 impl SimCluster {
-    pub fn new(name: impl Into<String>, location: LocationId, cores: usize, ns_per_unit: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        location: LocationId,
+        cores: usize,
+        ns_per_unit: f64,
+    ) -> Self {
         SimCluster {
             name: name.into(),
             location,
@@ -148,6 +187,8 @@ pub struct SimParams {
     pub file_contention_bw_factor: f64,
     /// RNG seed (jitter streams).
     pub seed: u64,
+    /// Injected failures (kills, fetch faults). Default: failure-free.
+    pub faults: FaultPlan,
 }
 
 impl SimParams {
@@ -213,6 +254,24 @@ impl SimParams {
                 return Err(format!("link {} has nonpositive bandwidth", l.name));
             }
         }
+        if !(0.0..1.0).contains(&self.faults.fetch_failure_prob) {
+            return Err("fetch_failure_prob must be in [0, 1)".into());
+        }
+        if self.faults.slave_failure_threshold == 0 {
+            return Err("slave_failure_threshold must be >= 1".into());
+        }
+        for k in &self.faults.kill_schedule {
+            let c = self
+                .clusters
+                .get(k.cluster)
+                .ok_or_else(|| format!("kill schedule references unknown cluster {}", k.cluster))?;
+            if k.slave >= c.cores {
+                return Err(format!(
+                    "kill schedule references slave {} of cluster {} (only {} cores)",
+                    k.slave, c.name, c.cores
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -263,6 +322,7 @@ mod tests {
             nonseq_bw_factor: 1.0,
             file_contention_bw_factor: 1.0,
             seed: 1,
+            faults: FaultPlan::default(),
         }
     }
 

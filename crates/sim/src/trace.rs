@@ -53,7 +53,14 @@ pub struct Trace {
 
 impl Trace {
     /// Record a span (called by the simulator).
-    pub fn record(&mut self, cluster: usize, slave: usize, kind: SpanKind, start: SimTime, end: SimTime) {
+    pub fn record(
+        &mut self,
+        cluster: usize,
+        slave: usize,
+        kind: SpanKind,
+        start: SimTime,
+        end: SimTime,
+    ) {
         debug_assert!(end >= start, "span ends before it starts");
         self.spans.push(Span {
             cluster,
@@ -73,7 +80,9 @@ impl Trace {
         let busy: f64 = self
             .spans
             .iter()
-            .filter(|s| s.cluster == cluster && s.slave == slave && s.kind != SpanKind::RobjTransfer)
+            .filter(|s| {
+                s.cluster == cluster && s.slave == slave && s.kind != SpanKind::RobjTransfer
+            })
             .map(|s| s.end.saturating_since(s.start).as_secs_f64())
             .sum();
         busy / self.horizon.as_secs_f64()
@@ -122,7 +131,11 @@ impl Trace {
             self.horizon.as_secs_f64()
         );
         for ((c, s), row) in rows {
-            let _ = writeln!(out, "c{c}/s{s:<3} |{}|", row.into_iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "c{c}/s{s:<3} |{}|",
+                row.into_iter().collect::<String>()
+            );
         }
         out
     }

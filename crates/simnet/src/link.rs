@@ -229,8 +229,10 @@ impl FairShareLink {
                 break;
             }
             let fair = capacity_left / n as f64;
-            let (bound, free): (Vec<_>, Vec<_>) =
-                unassigned.iter().copied().partition(|&(_, cap)| cap <= fair);
+            let (bound, free): (Vec<_>, Vec<_>) = unassigned
+                .iter()
+                .copied()
+                .partition(|&(_, cap)| cap <= fair);
             if bound.is_empty() {
                 for (id, _) in &unassigned {
                     self.rates.insert(*id, fair);

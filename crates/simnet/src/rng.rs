@@ -1,23 +1,55 @@
 //! Deterministic randomness helpers.
 //!
 //! Everything stochastic in the simulator — EC2 performance jitter,
-//! straggler injection, workload synthesis — draws from a [`DetRng`] seeded
-//! explicitly, so a run is a pure function of `(config, seed)`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! straggler injection, workload synthesis, fault schedules — draws from a
+//! [`DetRng`] seeded explicitly, so a run is a pure function of
+//! `(config, seed)`. The generator is a self-contained xoshiro256++
+//! (public-domain algorithm by Blackman & Vigna) seeded through SplitMix64,
+//! keeping the workspace free of external RNG dependencies.
 
 /// A seeded RNG with the distribution helpers the simulator needs.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     pub fn new(seed: u64) -> Self {
+        // Expand the seed into the 256-bit state; SplitMix64 guarantees the
+        // state is never all-zero.
+        let mut sm = seed;
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child stream; `salt` distinguishes siblings.
@@ -25,10 +57,10 @@ impl DetRng {
     /// does not perturb the draws of the others.
     pub fn fork(&self, salt: u64) -> DetRng {
         // SplitMix64-style mixing of the parent's next draw with the salt.
+        // Peeking via a clone leaves the parent's own stream untouched.
         let mut z = self
-            .inner
             .clone()
-            .random::<u64>()
+            .next_u64()
             .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -37,18 +69,22 @@ impl DetRng {
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 random mantissa bits, the standard float-from-bits recipe.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.random_range(0..n)
+        assert!(n > 0, "index(0)");
+        // Lemire multiply-shift; the modulo bias is far below anything the
+        // simulator's statistics could resolve.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
-    /// Standard normal via Box-Muller (avoids a rand_distr dependency here).
+    /// Standard normal via Box-Muller.
     pub fn std_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = self.inner.random();
+        let u1: f64 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -67,12 +103,12 @@ impl DetRng {
 
     /// Bernoulli draw.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.random::<f64>() < p
+        self.uniform() < p
     }
 
-    /// Access the raw RNG for callers needing other distributions.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
+    /// The next raw 64-bit draw, for callers needing other distributions.
+    pub fn raw_u64(&mut self) -> u64 {
+        self.next_u64()
     }
 }
 
@@ -130,5 +166,13 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.index(7) < 7);
         }
+    }
+
+    #[test]
+    fn uniform_is_well_spread() {
+        let mut r = DetRng::new(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean}");
     }
 }

@@ -158,7 +158,10 @@ mod tests {
             h.join().unwrap();
         }
         let el = start.elapsed();
-        assert!(el >= Duration::from_millis(170), "shared queueing missing: {el:?}");
+        assert!(
+            el >= Duration::from_millis(170),
+            "shared queueing missing: {el:?}"
+        );
         assert_eq!(t.total_bytes(), 200_000);
         assert_eq!(t.total_requests(), 4);
     }

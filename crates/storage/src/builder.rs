@@ -159,7 +159,9 @@ mod tests {
         verify_placement(&layout, &placement, &stores).unwrap();
 
         // Resize one file behind the framework's back.
-        local.put("part-00000", Bytes::from_static(b"tiny")).unwrap();
+        local
+            .put("part-00000", Bytes::from_static(b"tiny"))
+            .unwrap();
         let err = verify_placement(&layout, &placement, &stores).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
 

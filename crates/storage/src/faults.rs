@@ -4,17 +4,22 @@
 //! 2011-era S3 served bulk workloads with a small but real transient-error
 //! rate, which is why production retrievers retry. [`FlakyStore`] lets
 //! tests and examples reproduce that: each GET fails with probability `p`
-//! (seeded, so runs are reproducible), or deterministically for the first
-//! `n` attempts on each key.
+//! (seeded, so runs are reproducible), deterministically for the first
+//! `n` attempts on each key, or by *stalling* (a hung connection that
+//! eventually answers — the case a per-GET deadline exists for). Faults can
+//! be scoped to a key set, e.g. [`keys_homed_at`] to degrade one data
+//! location while the rest of the fabric stays healthy.
 
+use crate::layout::{DatasetLayout, LocationId, Placement};
 use crate::store::ObjectStore;
 use bytes::Bytes;
 use cb_simnet::DetRng;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// When a [`FlakyStore`] injects failures.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +29,25 @@ pub enum FaultMode {
     /// The first `n` GETs of each key fail, then the key works forever —
     /// the worst case a bounded retry policy must survive.
     FirstNPerKey { n: u32 },
+    /// Every GET hangs for `delay` before answering — a stalled connection.
+    /// The data still arrives, so only a retriever with a per-GET deadline
+    /// (see `Retriever::with_deadline`) notices anything is wrong.
+    Stall { delay: Duration },
+}
+
+/// The keys of all files homed at `loc` under `placement` — the scope to
+/// hand [`FlakyStore::with_scope`] for location-targeted fault injection.
+pub fn keys_homed_at(
+    layout: &DatasetLayout,
+    placement: &Placement,
+    loc: LocationId,
+) -> BTreeSet<String> {
+    layout
+        .files
+        .iter()
+        .filter(|f| placement.home(f.id) == loc)
+        .map(|f| f.name.clone())
+        .collect()
 }
 
 /// An [`ObjectStore`] decorator that injects transient GET failures.
@@ -32,6 +56,8 @@ pub enum FaultMode {
 pub struct FlakyStore {
     inner: Arc<dyn ObjectStore>,
     mode: FaultMode,
+    /// When set, only GETs for these keys are eligible for faults.
+    scope: Option<BTreeSet<String>>,
     rng: Mutex<DetRng>,
     per_key_attempts: Mutex<HashMap<String, u32>>,
     injected: AtomicU64,
@@ -44,28 +70,60 @@ impl FlakyStore {
             name: format!("flaky({})", inner.name()),
             inner,
             mode,
+            scope: None,
             rng: Mutex::new(DetRng::new(seed)),
             per_key_attempts: Mutex::new(HashMap::new()),
             injected: AtomicU64::new(0),
         }
     }
 
-    /// Number of failures injected so far.
+    /// Restrict fault injection to `keys` (see [`keys_homed_at`]); GETs for
+    /// other keys always pass through untouched.
+    pub fn with_scope(mut self, keys: BTreeSet<String>) -> Self {
+        self.scope = Some(keys);
+        self
+    }
+
+    /// Number of failures injected so far (stalls count too).
     pub fn injected_failures(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
     }
 
-    fn should_fail(&self, key: &str) -> bool {
+    /// `Some(delay)` if this GET should stall, `None` to fail hard, or
+    /// pass-through. Encoded as a tri-state to keep one decision point.
+    fn decide(&self, key: &str) -> FaultDecision {
+        if let Some(scope) = &self.scope {
+            if !scope.contains(key) {
+                return FaultDecision::Pass;
+            }
+        }
         match self.mode {
-            FaultMode::Random { probability } => self.rng.lock().chance(probability),
+            FaultMode::Random { probability } => {
+                if self.rng.lock().chance(probability) {
+                    FaultDecision::Fail
+                } else {
+                    FaultDecision::Pass
+                }
+            }
             FaultMode::FirstNPerKey { n } => {
                 let mut m = self.per_key_attempts.lock();
                 let c = m.entry(key.to_owned()).or_insert(0);
                 *c += 1;
-                *c <= n
+                if *c <= n {
+                    FaultDecision::Fail
+                } else {
+                    FaultDecision::Pass
+                }
             }
+            FaultMode::Stall { delay } => FaultDecision::Stall(delay),
         }
     }
+}
+
+enum FaultDecision {
+    Pass,
+    Fail,
+    Stall(Duration),
 }
 
 impl ObjectStore for FlakyStore {
@@ -78,12 +136,19 @@ impl ObjectStore for FlakyStore {
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> io::Result<Bytes> {
-        if self.should_fail(key) {
-            self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(io::Error::new(
-                io::ErrorKind::ConnectionReset,
-                format!("injected transient failure on {key}"),
-            ));
+        match self.decide(key) {
+            FaultDecision::Pass => {}
+            FaultDecision::Fail => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    format!("injected transient failure on {key}"),
+                ));
+            }
+            FaultDecision::Stall(delay) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(delay);
+            }
         }
         self.inner.get_range(key, offset, len)
     }
@@ -144,6 +209,62 @@ mod tests {
             assert!(s.get_range("k", 0, 10).is_ok());
         }
         assert_eq!(s.injected_failures(), 0);
+    }
+
+    #[test]
+    fn stall_mode_delays_but_delivers() {
+        let s = FlakyStore::new(
+            backing(),
+            FaultMode::Stall {
+                delay: Duration::from_millis(20),
+            },
+            0,
+        );
+        let t0 = std::time::Instant::now();
+        let got = s.get_range("k", 0, 4).unwrap();
+        assert_eq!(got.as_ref(), b"0123");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "GET must hang for the configured delay"
+        );
+        assert_eq!(s.injected_failures(), 1);
+    }
+
+    #[test]
+    fn scope_limits_faults_to_targeted_keys() {
+        let b = backing();
+        b.put("remote", Bytes::from_static(b"abc")).unwrap();
+        let s = FlakyStore::new(b, FaultMode::FirstNPerKey { n: 100 }, 0)
+            .with_scope(["remote".to_string()].into_iter().collect());
+        assert!(s.get_range("k", 0, 1).is_ok(), "unscoped key never faulted");
+        assert!(s.get_range("remote", 0, 1).is_err(), "scoped key faulted");
+        assert_eq!(s.injected_failures(), 1);
+    }
+
+    #[test]
+    fn keys_homed_at_selects_by_placement() {
+        use crate::layout::{DatasetLayout, FileId, FileMeta, Placement};
+        let layout = DatasetLayout {
+            files: (0..4)
+                .map(|i| FileMeta {
+                    id: FileId(i),
+                    name: format!("f{i}"),
+                    size: 1,
+                })
+                .collect(),
+            chunks: vec![],
+        };
+        let p = Placement::from_homes(vec![
+            LocationId(0),
+            LocationId(1),
+            LocationId(0),
+            LocationId(1),
+        ]);
+        let keys = keys_homed_at(&layout, &p, LocationId(1));
+        assert_eq!(
+            keys.into_iter().collect::<Vec<_>>(),
+            vec!["f1".to_string(), "f3".to_string()]
+        );
     }
 
     #[test]

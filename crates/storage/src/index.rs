@@ -50,7 +50,10 @@ impl fmt::Display for IndexError {
             IndexError::BadMagic => write!(f, "not an index file (bad magic)"),
             IndexError::BadVersion(v) => write!(f, "unsupported index version {v}"),
             IndexError::BadChecksum { stored, computed } => {
-                write!(f, "index checksum mismatch: stored {stored:08x}, computed {computed:08x}")
+                write!(
+                    f,
+                    "index checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+                )
             }
             IndexError::BadName => write!(f, "file name is not valid UTF-8"),
             IndexError::InvalidLayout(e) => write!(f, "decoded layout invalid: {e}"),
@@ -279,9 +282,6 @@ mod tests {
             }],
         };
         let bytes = encode(&layout);
-        assert!(matches!(
-            decode(&bytes),
-            Err(IndexError::InvalidLayout(_))
-        ));
+        assert!(matches!(decode(&bytes), Err(IndexError::InvalidLayout(_))));
     }
 }

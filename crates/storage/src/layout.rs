@@ -82,13 +82,30 @@ pub struct DatasetLayout {
 /// Violation detected by [`DatasetLayout::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LayoutError {
-    NonDenseFileIds { at: usize },
-    NonDenseChunkIds { at: usize },
-    UnknownFile { chunk: ChunkId, file: FileId },
-    ChunkNotContiguous { chunk: ChunkId },
-    FileNotTiled { file: FileId, covered: u64, size: u64 },
-    FileChunksNotConsecutive { file: FileId },
-    EmptyChunk { chunk: ChunkId },
+    NonDenseFileIds {
+        at: usize,
+    },
+    NonDenseChunkIds {
+        at: usize,
+    },
+    UnknownFile {
+        chunk: ChunkId,
+        file: FileId,
+    },
+    ChunkNotContiguous {
+        chunk: ChunkId,
+    },
+    FileNotTiled {
+        file: FileId,
+        covered: u64,
+        size: u64,
+    },
+    FileChunksNotConsecutive {
+        file: FileId,
+    },
+    EmptyChunk {
+        chunk: ChunkId,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -221,7 +238,12 @@ impl Placement {
 
     /// The first `round(frac * n_files)` files at `first`, the rest at
     /// `second` — exactly how the paper realizes env-50/50, 33/67, 17/83.
-    pub fn split_fraction(n_files: usize, frac_at_first: f64, first: LocationId, second: LocationId) -> Self {
+    pub fn split_fraction(
+        n_files: usize,
+        frac_at_first: f64,
+        first: LocationId,
+        second: LocationId,
+    ) -> Self {
         let k = ((n_files as f64) * frac_at_first).round() as usize;
         let k = k.min(n_files);
         let mut home = vec![first; k];

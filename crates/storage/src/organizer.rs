@@ -37,7 +37,10 @@ impl std::fmt::Display for OrganizeError {
                 write!(f, "chunk size {chunk} smaller than unit size {unit}")
             }
             OrganizeError::MisalignedFile { file, size, unit } => {
-                write!(f, "file {file} size {size} is not a multiple of unit size {unit}")
+                write!(
+                    f,
+                    "file {file} size {size} is not a multiple of unit size {unit}"
+                )
             }
             OrganizeError::Invalid(e) => write!(f, "organizer produced invalid layout: {e}"),
         }
@@ -233,18 +236,39 @@ mod tests {
     #[test]
     fn degenerate_configs_rejected() {
         assert_eq!(
-            organize(&[], &OrganizerConfig { chunk_bytes: 8, unit_bytes: 0 }).unwrap_err(),
+            organize(
+                &[],
+                &OrganizerConfig {
+                    chunk_bytes: 8,
+                    unit_bytes: 0
+                }
+            )
+            .unwrap_err(),
             OrganizeError::ZeroUnit
         );
         assert!(matches!(
-            organize(&[], &OrganizerConfig { chunk_bytes: 4, unit_bytes: 8 }).unwrap_err(),
+            organize(
+                &[],
+                &OrganizerConfig {
+                    chunk_bytes: 4,
+                    unit_bytes: 8
+                }
+            )
+            .unwrap_err(),
             OrganizeError::ChunkSmallerThanUnit { .. }
         ));
     }
 
     #[test]
     fn empty_file_list_is_empty_layout() {
-        let l = organize(&[], &OrganizerConfig { chunk_bytes: 64, unit_bytes: 8 }).unwrap();
+        let l = organize(
+            &[],
+            &OrganizerConfig {
+                chunk_bytes: 64,
+                unit_bytes: 8,
+            },
+        )
+        .unwrap();
         assert_eq!(l.n_jobs(), 0);
         assert_eq!(l.total_bytes(), 0);
     }

@@ -10,8 +10,28 @@
 
 use crate::store::ObjectStore;
 use bytes::{Bytes, BytesMut};
+use cb_simnet::DetRng;
 use std::io;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The sleep before retry `attempt` (1-based): exponential growth from
+/// `base`, capped at `cap`, scaled by a deterministic jitter factor in
+/// `[0.5, 1.0)` derived from `seed` and the attempt number.
+///
+/// Pure so the schedule is unit-testable; jitter decorrelates the retries of
+/// slaves that fail together (e.g. when a whole location's store degrades)
+/// without giving up reproducibility.
+pub fn backoff_schedule(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let exp = attempt.saturating_sub(1).min(20);
+    let raw = base.saturating_mul(1u32 << exp).min(cap);
+    let jitter = 0.5 + 0.5 * DetRng::new(seed ^ u64::from(attempt)).uniform();
+    raw.mul_f64(jitter)
+}
 
 /// Parallel ranged-GET fetcher.
 ///
@@ -36,8 +56,19 @@ pub struct Retriever {
     /// failures — timeouts, connection resets — are a fact of life against
     /// an object service).
     retries: u32,
-    /// Sleep before the first retry; doubles per attempt.
+    /// Sleep before the first retry; grows per [`backoff_schedule`].
     retry_backoff: Duration,
+    /// Ceiling on the per-retry sleep.
+    backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    jitter_seed: u64,
+    /// Per-GET deadline: a ranged GET observed to take longer than this is
+    /// classified as timed out (and retried), even if bytes eventually
+    /// arrived — a hung connection must not block a slave forever.
+    deadline: Option<Duration>,
+    /// Shared counter incremented once per retry attempt, so callers (the
+    /// runtime's `RecoveryStats`) can account for faults absorbed here.
+    retry_counter: Option<Arc<AtomicU64>>,
 }
 
 impl Retriever {
@@ -48,6 +79,10 @@ impl Retriever {
             min_split_bytes: 64 * 1024,
             retries: 0,
             retry_backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            jitter_seed: 0,
+            deadline: None,
+            retry_counter: None,
         }
     }
 
@@ -70,6 +105,31 @@ impl Retriever {
         self
     }
 
+    /// Cap the per-retry backoff sleep.
+    pub fn with_backoff_cap(mut self, cap: Duration) -> Self {
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Seed the backoff jitter (see [`backoff_schedule`]).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Classify any ranged GET observed to take longer than `deadline` as
+    /// timed out; `None` disables the check.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Count every retry attempt into `counter`.
+    pub fn with_retry_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.retry_counter = Some(counter);
+        self
+    }
+
     /// One ranged GET with this retriever's retry policy.
     fn get_with_retry(
         &self,
@@ -78,10 +138,23 @@ impl Retriever {
         offset: u64,
         len: u64,
     ) -> io::Result<Bytes> {
-        let mut backoff = self.retry_backoff;
         let mut attempt = 0u32;
         loop {
-            match store.get_range(key, offset, len) {
+            let t0 = Instant::now();
+            let mut result = store.get_range(key, offset, len);
+            if let Some(deadline) = self.deadline {
+                // The store API is blocking, so a hung GET is detected after
+                // the fact: data that arrived later than the deadline is
+                // discarded and the attempt treated as a timeout, exactly as
+                // a socket timeout would have surfaced it.
+                if result.is_ok() && t0.elapsed() > deadline {
+                    result = Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("GET of {key} exceeded deadline {deadline:?}"),
+                    ));
+                }
+            }
+            match result {
                 Ok(b) => return Ok(b),
                 // Out-of-range and missing-object errors are not transient;
                 // retrying them only hides index corruption.
@@ -92,9 +165,17 @@ impl Retriever {
                         && e.kind() != io::ErrorKind::InvalidInput =>
                 {
                     attempt += 1;
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff);
-                        backoff *= 2;
+                    if let Some(counter) = &self.retry_counter {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let sleep = backoff_schedule(
+                        self.retry_backoff,
+                        self.backoff_cap,
+                        self.jitter_seed,
+                        attempt,
+                    );
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
                     }
                 }
                 Err(e) => return Err(e),
@@ -266,12 +347,90 @@ mod tests {
         let data = patterned(1 << 18);
         inner.put("k", data.clone()).unwrap();
         let flaky = FlakyStore::new(inner, FaultMode::Random { probability: 0.5 }, 42);
-        let r = Retriever::new(4).with_min_split(1).with_retries(30, Duration::ZERO);
+        let r = Retriever::new(4)
+            .with_min_split(1)
+            .with_retries(30, Duration::ZERO);
         for _ in 0..3 {
             let got = r.fetch(&flaky, "k", 0, 1 << 18).unwrap();
             assert_eq!(got, data);
         }
-        assert!(flaky.injected_failures() > 0, "the run should have hit faults");
+        assert!(
+            flaky.injected_failures() > 0,
+            "the run should have hit faults"
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_grows_then_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        for attempt in 1..=12 {
+            let d = backoff_schedule(base, cap, 7, attempt);
+            assert!(d <= cap, "attempt {attempt}: {d:?} exceeds cap");
+            // Jitter scales the capped exponential by [0.5, 1.0).
+            let raw = base.saturating_mul(1 << (attempt - 1).min(20)).min(cap);
+            assert!(d >= raw / 2, "attempt {attempt}: {d:?} below jitter floor");
+        }
+        // Early attempts are strictly shorter than capped late ones:
+        // [5,10) ms vs [40,80) ms.
+        assert!(backoff_schedule(base, cap, 7, 1) < backoff_schedule(base, cap, 7, 6));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_seed_sensitive() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        assert_eq!(
+            backoff_schedule(base, cap, 3, 4),
+            backoff_schedule(base, cap, 3, 4)
+        );
+        let a: Vec<_> = (1..=8).map(|i| backoff_schedule(base, cap, 1, i)).collect();
+        let b: Vec<_> = (1..=8).map(|i| backoff_schedule(base, cap, 2, i)).collect();
+        assert_ne!(a, b, "different seeds should produce different jitter");
+        assert_eq!(backoff_schedule(Duration::ZERO, cap, 1, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_classifies_stalled_gets_as_timeouts() {
+        use crate::faults::{FaultMode, FlakyStore};
+        let inner = Arc::new(MemStore::new("m"));
+        inner.put("k", patterned(100)).unwrap();
+        let stalled = FlakyStore::new(
+            inner,
+            FaultMode::Stall {
+                delay: Duration::from_millis(20),
+            },
+            0,
+        );
+
+        // Deadline below the stall: every attempt times out.
+        let r = Retriever::new(1)
+            .with_retries(2, Duration::ZERO)
+            .with_deadline(Some(Duration::from_millis(2)));
+        let err = r.fetch(&stalled, "k", 0, 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+
+        // Deadline above the stall: the data arrives in time.
+        let r = Retriever::new(1).with_deadline(Some(Duration::from_secs(5)));
+        assert_eq!(
+            r.fetch(&stalled, "k", 0, 10).unwrap(),
+            patterned(100).slice(0..10)
+        );
+    }
+
+    #[test]
+    fn retry_counter_accounts_for_absorbed_faults() {
+        use crate::faults::{FaultMode, FlakyStore};
+        use std::sync::atomic::AtomicU64;
+        let inner = Arc::new(MemStore::new("m"));
+        inner.put("k", patterned(100)).unwrap();
+        let flaky = FlakyStore::new(inner, FaultMode::FirstNPerKey { n: 2 }, 0);
+        let counter = Arc::new(AtomicU64::new(0));
+        let r = Retriever::new(1)
+            .with_retries(3, Duration::ZERO)
+            .with_retry_counter(Arc::clone(&counter));
+        r.fetch(&flaky, "k", 0, 10).unwrap();
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2);
     }
 
     #[test]

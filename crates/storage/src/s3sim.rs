@@ -78,7 +78,11 @@ pub struct RemoteStore {
 }
 
 impl RemoteStore {
-    pub fn new(name: impl Into<String>, inner: Arc<dyn ObjectStore>, profile: RemoteProfile) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        inner: Arc<dyn ObjectStore>,
+        profile: RemoteProfile,
+    ) -> Self {
         RemoteStore {
             shared: Throttle::new(profile.aggregate_bps, profile.request_latency),
             inner,

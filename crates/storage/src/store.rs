@@ -170,7 +170,9 @@ impl ObjectStore for DiskStore {
 
     fn size_of(&self, key: &str) -> io::Result<u64> {
         let path = self.path_of(key)?;
-        fs::metadata(&path).map(|m| m.len()).map_err(|_| not_found(key))
+        fs::metadata(&path)
+            .map(|m| m.len())
+            .map_err(|_| not_found(key))
     }
 
     fn list(&self) -> Vec<String> {

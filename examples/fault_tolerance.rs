@@ -1,6 +1,13 @@
-//! Transient-failure handling: run a batch k-NN workload against a cloud
-//! store that drops a random fraction of GETs (as the real 2011-era S3
-//! occasionally did), and watch the retriever's retry policy absorb it.
+//! Fault tolerance end to end: transient storage faults, slave crashes, and
+//! the loss of an entire cluster — all against the same batch k-NN workload,
+//! all producing the identical result.
+//!
+//! The paper's §III-C observation makes this cheap: the only state a
+//! generalized-reduction run needs to preserve is the tiny reduction object
+//! (a killed slave's partial robj is a valid checkpoint) plus the set of
+//! unprocessed chunks (the head's job pool already knows it). Failed fetches
+//! re-enter the pool; a dead master's undispatched leases are reclaimed and
+//! stolen by the survivors.
 //!
 //! ```text
 //! cargo run -p cb-apps --release --example fault_tolerance
@@ -12,7 +19,7 @@ use cb_storage::builder::{materialize, StoreMap};
 use cb_storage::faults::{FaultMode, FlakyStore};
 use cb_storage::layout::{LocationId, Placement};
 use cb_storage::store::{MemStore, ObjectStore};
-use cloudburst_core::config::RuntimeConfig;
+use cloudburst_core::config::{RuntimeConfig, SlaveKill};
 use cloudburst_core::deploy::{ClusterSpec, DataFabric, Deployment};
 use cloudburst_core::runtime::run;
 use std::collections::BTreeMap;
@@ -30,7 +37,8 @@ fn main() {
     };
     let layout = spec.layout();
 
-    // All data in the "cloud"; its store drops 20% of GETs.
+    // All data in the "cloud"; its store drops 20% of GETs (as the real
+    // 2011-era S3 occasionally did).
     let placement = Placement::all_at(layout.files.len(), LocationId(1));
     let backing = Arc::new(MemStore::new("s3-backing"));
     let mut stores: StoreMap = BTreeMap::new();
@@ -62,32 +70,87 @@ fn main() {
         ],
     };
 
-    // Attempt 1: no retries — expected to fail loudly.
+    // Act 1: no storage retries — every dropped GET surfaces to the
+    // scheduler, which re-enqueues the job at the front of its file's queue.
+    // The run completes anyway (unless a chunk exceeds its failure budget).
     let fragile = RuntimeConfig {
         retrieval_retries: 0,
         ..Default::default()
     };
-    match run(&app, &params, &layout, &placement, &deployment, &fragile) {
-        Err(e) => println!("without retries, the run fails as it should:\n  {e}\n"),
-        Ok(_) => println!("(got lucky — every GET happened to succeed)\n"),
-    }
-    let after_first = flaky.injected_failures();
+    println!("act 1 — no storage retries; the scheduler itself recovers:");
+    let act1 = match run(&app, &params, &layout, &placement, &deployment, &fragile) {
+        Ok(out) => {
+            let r = &out.report.recovery;
+            println!(
+                "  completed: {} fetch failures re-enqueued {} times\n",
+                r.fetch_failures, r.jobs_reenqueued
+            );
+            Some(out.result.into_sorted())
+        }
+        Err(e) => {
+            println!("  a chunk ran out its failure budget: {e}\n");
+            None
+        }
+    };
 
-    // Attempt 2: a production retry policy — completes correctly.
+    // Act 2: a production retry policy — faults are absorbed below the
+    // scheduler and never become job failures.
     let robust = RuntimeConfig {
         retrieval_retries: 8,
         retrieval_backoff: Duration::from_millis(1),
         ..Default::default()
     };
+    println!("act 2 — storage retries absorb the same fault rate:");
     let out = run(&app, &params, &layout, &placement, &deployment, &robust)
         .expect("retries should absorb 20% transient failures");
+    let r = &out.report.recovery;
     println!(
-        "with retries: processed {} jobs despite {} injected faults",
-        out.report.total_jobs(),
-        flaky.injected_failures() - after_first,
+        "  completed: {} low-level retries, {} job failures\n",
+        r.retries, r.fetch_failures
     );
-    for (qi, result) in out.result.into_sorted().into_iter().enumerate() {
+    let reference = out.result.into_sorted();
+
+    // Act 3: crash every EC2 slave mid-run (one after its first job, one
+    // before it does anything) on top of the flaky store. The dying master
+    // returns its undispatched leases; the local cluster steals the orphaned
+    // data; the killed slaves' partial robjs merge as checkpoints.
+    let crashy = RuntimeConfig {
+        retrieval_retries: 8,
+        retrieval_backoff: Duration::from_millis(1),
+        kill_schedule: vec![
+            SlaveKill {
+                cluster: 1,
+                slave: 0,
+                after_jobs: 1,
+            },
+            SlaveKill {
+                cluster: 1,
+                slave: 1,
+                after_jobs: 0,
+            },
+        ],
+        ..Default::default()
+    };
+    println!("act 3 — lose the whole EC2 cluster mid-run:");
+    let out = run(&app, &params, &layout, &placement, &deployment, &crashy)
+        .expect("survivors must finish the run");
+    let r = &out.report.recovery;
+    let local = out.report.cluster("local").expect("local cluster");
+    println!(
+        "  completed: {} slaves killed, {} leases reclaimed, local stole {} jobs",
+        r.slaves_killed, r.jobs_reenqueued, local.jobs_stolen
+    );
+
+    // The recovery model's guarantee: every schedule yields the same answer.
+    let survived = out.result.into_sorted();
+    assert_eq!(reference, survived, "crash recovery changed the result");
+    if let Some(a1) = act1 {
+        assert_eq!(reference, a1, "re-enqueue recovery changed the result");
+    }
+    println!("  result identical to the failure-free runs — exactly-once held.\n");
+
+    for (qi, result) in reference.into_iter().enumerate() {
         let (d2, id) = result[0];
-        println!("  query {qi}: nearest id {id} at distance² {d2:.6}");
+        println!("query {qi}: nearest id {id} at distance² {d2:.6}");
     }
 }

@@ -101,7 +101,9 @@ fn main() {
             .unwrap();
         println!(
             "  centroid {c}: {:?} -> blob {best} (off by {dist:.4})",
-            got.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>()
+            got.iter()
+                .map(|x| (x * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 }

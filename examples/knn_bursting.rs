@@ -31,7 +31,11 @@ fn main() {
     };
 
     let mut last_neighbors = None;
-    for (label, frac_local) in [("all-local", 1.0), ("50/50 split", 0.5), ("17/83 split", 0.17)] {
+    for (label, frac_local) in [
+        ("all-local", 1.0),
+        ("50/50 split", 0.5),
+        ("17/83 split", 0.17),
+    ] {
         let env = build_hybrid(
             spec.layout(),
             spec.fill(),
@@ -54,11 +58,17 @@ fn main() {
         )
         .expect("run");
 
-        println!("=== {label} ({}% of files local) ===", (frac_local * 100.0) as u32);
+        println!(
+            "=== {label} ({}% of files local) ===",
+            (frac_local * 100.0) as u32
+        );
         print!("{}", out.report.render());
 
         let neighbors = out.result.into_sorted();
-        println!("nearest neighbor: id {} at distance² {:.6}\n", neighbors[0].1, neighbors[0].0);
+        println!(
+            "nearest neighbor: id {} at distance² {:.6}\n",
+            neighbors[0].1, neighbors[0].0
+        );
 
         // The answer must not depend on where the data lived.
         if let Some(prev) = &last_neighbors {
@@ -66,6 +76,8 @@ fn main() {
         }
         last_neighbors = Some(neighbors);
     }
-    println!("all three placements returned identical neighbors — \
-              data location is transparent to the application.");
+    println!(
+        "all three placements returned identical neighbors — \
+              data location is transparent to the application."
+    );
 }

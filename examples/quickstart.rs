@@ -114,7 +114,11 @@ fn main() {
     .expect("run");
 
     let s = &out.result;
-    println!("processed {} readings across {} clusters", s.n, out.report.clusters.len());
+    println!(
+        "processed {} readings across {} clusters",
+        s.n,
+        out.report.clusters.len()
+    );
     println!(
         "mean = {:.3}   min = {:.1}   max = {:.1}",
         s.sum / s.n as f64,

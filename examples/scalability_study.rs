@@ -64,7 +64,10 @@ fn real_runtime_sweep() {
         let speedup = prev
             .map(|p| format!("{:+.1}%", (p / out.report.total_s - 1.0) * 100.0))
             .unwrap_or_else(|| "-".into());
-        println!("({m:>2},{m:<2})           {:>7.3}  {speedup}", out.report.total_s);
+        println!(
+            "({m:>2},{m:<2})           {:>7.3}  {speedup}",
+            out.report.total_s
+        );
         prev = Some(out.report.total_s);
     }
 }

@@ -4,9 +4,7 @@
 
 use cb_apps::gen::{GraphSpec, PointMode, PointsSpec};
 use cb_apps::knn::{knn_reference, KnnApp, KnnQuery};
-use cb_apps::pagerank::{
-    next_ranks, pagerank_reference_pass, rank_delta, PageRankApp, RankParams,
-};
+use cb_apps::pagerank::{next_ranks, pagerank_reference_pass, rank_delta, PageRankApp, RankParams};
 use cb_apps::scenario::{build_hybrid, HybridOpts};
 use cloudburst_core::config::RuntimeConfig;
 use cloudburst_core::runtime::run;

@@ -284,8 +284,8 @@ fn compute_only_at_one_site_processes_remote_data() {
     assert!(local.jobs_stolen > 0, "S3-homed jobs count as stolen");
 }
 
-/// Sabotaged dataset (file deleted from the cloud store) surfaces an I/O
-/// error rather than a wrong answer or a hang.
+/// Sabotaged dataset (file deleted from the cloud store) surfaces a
+/// `JobsFailed` error naming the loss rather than a wrong answer or a hang.
 #[test]
 fn failure_injection_missing_remote_file() {
     let spec = words_spec();
@@ -318,7 +318,20 @@ fn failure_injection_missing_remote_file() {
         &RuntimeConfig::default(),
     )
     .unwrap_err();
-    let msg = err.to_string();
-    assert!(msg.contains("I/O"), "unexpected error: {msg}");
+    match err {
+        cloudburst_core::runtime::RuntimeError::JobsFailed {
+            dead,
+            unfinished,
+            last_error,
+        } => {
+            assert!(
+                !dead.is_empty() || unfinished > 0,
+                "some chunks must be reported lost"
+            );
+            let msg = last_error.expect("a last error is recorded");
+            assert!(msg.contains(&victim), "error names the missing file: {msg}");
+        }
+        other => panic!("expected JobsFailed, got {other:?}"),
+    }
     let _ = LOCAL;
 }

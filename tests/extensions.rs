@@ -110,7 +110,11 @@ fn iterative_driver_runs_kmeans_to_convergence() {
     let init = Centroids::new(
         2,
         (0..3)
-            .flat_map(|c| PointsSpec::blob_center(spec.seed, c, 2).into_iter().map(|x| x + 0.5))
+            .flat_map(|c| {
+                PointsSpec::blob_center(spec.seed, c, 2)
+                    .into_iter()
+                    .map(|x| x + 0.5)
+            })
             .collect(),
     );
     let out = run_iterative(
@@ -158,10 +162,17 @@ fn iterative_driver_runs_kmeans_to_convergence() {
 fn heterogeneous_clusters_balance_by_demand() {
     let spec = points_spec();
     let layout = spec.layout();
-    let placement = Placement::split_fraction(layout.files.len(), 0.5, LocationId(0), LocationId(1));
+    let placement =
+        Placement::split_fraction(layout.files.len(), 0.5, LocationId(0), LocationId(1));
     let mut stores: StoreMap = BTreeMap::new();
-    stores.insert(LocationId(0), Arc::new(MemStore::new("a")) as Arc<dyn ObjectStore>);
-    stores.insert(LocationId(1), Arc::new(MemStore::new("b")) as Arc<dyn ObjectStore>);
+    stores.insert(
+        LocationId(0),
+        Arc::new(MemStore::new("a")) as Arc<dyn ObjectStore>,
+    );
+    stores.insert(
+        LocationId(1),
+        Arc::new(MemStore::new("b")) as Arc<dyn ObjectStore>,
+    );
     materialize(&layout, &placement, &stores, spec.fill()).unwrap();
     let fabric = DataFabric::direct(&stores);
 
@@ -176,18 +187,32 @@ fn heterogeneous_clusters_balance_by_demand() {
     );
     let app = KMeansApp::new(spec.dim, 2);
     let params = Centroids::new(spec.dim, vec![0.2; spec.dim * 2]);
-    let out = run(&app, &params, &layout, &placement, &deployment, &RuntimeConfig::default()).unwrap();
+    let out = run(
+        &app,
+        &params,
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
 
     let fast = out.report.cluster("fast").unwrap();
     let slow = out.report.cluster("slow").unwrap();
-    assert_eq!(fast.jobs_processed + slow.jobs_processed, layout.n_jobs() as u64);
+    assert_eq!(
+        fast.jobs_processed + slow.jobs_processed,
+        layout.n_jobs() as u64
+    );
     assert!(
         fast.jobs_processed >= slow.jobs_processed * 3,
         "demand-driven pooling should shift work to the fast cluster: fast={} slow={}",
         fast.jobs_processed,
         slow.jobs_processed
     );
-    assert!(fast.jobs_stolen > 0, "the fast cluster must have stolen slow-site data");
+    assert!(
+        fast.jobs_stolen > 0,
+        "the fast cluster must have stolen slow-site data"
+    );
 }
 
 /// Three compute sites sharing one job pool (the multi-cloud claim) on the
@@ -204,7 +229,10 @@ fn three_site_deployment_runs_correctly() {
     let placement = Placement::from_homes(homes);
     let mut stores: StoreMap = BTreeMap::new();
     for (i, loc) in [l0, l1, l2].into_iter().enumerate() {
-        stores.insert(loc, Arc::new(MemStore::new(format!("site{i}"))) as Arc<dyn ObjectStore>);
+        stores.insert(
+            loc,
+            Arc::new(MemStore::new(format!("site{i}"))) as Arc<dyn ObjectStore>,
+        );
     }
     materialize(&layout, &placement, &stores, spec.fill()).unwrap();
     let deployment = Deployment::new(
@@ -218,7 +246,15 @@ fn three_site_deployment_runs_correctly() {
 
     let app = SelectionApp::new(spec.dim);
     let query = BoxQuery::new(vec![0.0; spec.dim], vec![0.5; spec.dim]);
-    let out = run(&app, &query, &layout, &placement, &deployment, &RuntimeConfig::default()).unwrap();
+    let out = run(
+        &app,
+        &query,
+        &layout,
+        &placement,
+        &deployment,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
     assert_eq!(out.report.clusters.len(), 3);
     assert_eq!(out.report.total_jobs(), layout.n_jobs() as u64);
 
@@ -300,14 +336,16 @@ fn disk_backed_store_end_to_end() {
 }
 
 /// Transient remote failures: with the retriever's retry policy the run
-/// completes correctly; with retries disabled the same faults kill it.
+/// completes correctly; with retries disabled the same faults surface to the
+/// scheduler, which re-enqueues the failed jobs and still finishes the run.
 #[test]
 fn transient_store_faults_survived_by_retries() {
     use cb_storage::faults::{FaultMode, FlakyStore};
 
     let spec = points_spec();
     let layout = spec.layout();
-    let placement = Placement::split_fraction(layout.files.len(), 0.5, LocationId(0), LocationId(1));
+    let placement =
+        Placement::split_fraction(layout.files.len(), 0.5, LocationId(0), LocationId(1));
     let local = Arc::new(MemStore::new("local"));
     let cloud_backing = Arc::new(MemStore::new("cloud"));
     let mut stores: StoreMap = BTreeMap::new();
@@ -347,15 +385,23 @@ fn transient_store_faults_survived_by_retries() {
     let out = run(&app, &query, &layout, &placement, &deployment, &cfg).unwrap();
     assert!(flaky.injected_failures() > 0, "faults must actually fire");
     assert_eq!(out.report.total_jobs(), layout.n_jobs() as u64);
+    assert_eq!(
+        out.report.recovery.fetch_failures, 0,
+        "retries absorb the faults below the scheduler"
+    );
 
-    // Without retries, the same environment errors out. (Faults were
-    // consumed above, so rebuild a fresh flaky view.)
+    // Without retries, the same faults become job failures that the
+    // scheduler re-enqueues; the run still completes with the same answer.
+    // (Faults were consumed above, so rebuild a fresh flaky view. A high
+    // failure threshold keeps slave retirement out of the picture so the
+    // outcome does not depend on thread interleaving.)
     let flaky2 = Arc::new(FlakyStore::new(
         Arc::new({
             let m = MemStore::new("cloud2");
             for key in flaky.list() {
                 let size = flaky.size_of(&key).unwrap();
-                m.put(&key, flaky.get_range(&key, 0, size).unwrap()).unwrap();
+                m.put(&key, flaky.get_range(&key, 0, size).unwrap())
+                    .unwrap();
             }
             m
         }),
@@ -367,7 +413,10 @@ fn transient_store_faults_survived_by_retries() {
     for key in stores[&LocationId(0)].list() {
         let size = stores[&LocationId(0)].size_of(&key).unwrap();
         local2
-            .put(&key, stores[&LocationId(0)].get_range(&key, 0, size).unwrap())
+            .put(
+                &key,
+                stores[&LocationId(0)].get_range(&key, 0, size).unwrap(),
+            )
             .unwrap();
     }
     fabric2.set_path(LocationId(0), LocationId(0), local2.clone());
@@ -383,9 +432,22 @@ fn transient_store_faults_survived_by_retries() {
     );
     let cfg0 = RuntimeConfig {
         retrieval_retries: 0,
+        slave_failure_threshold: 1_000,
         ..Default::default()
     };
-    assert!(run(&app, &query, &layout, &placement, &deployment2, &cfg0).is_err());
+    let out0 = run(&app, &query, &layout, &placement, &deployment2, &cfg0).unwrap();
+    let rec = &out0.report.recovery;
+    assert!(rec.fetch_failures > 0, "faults must reach the scheduler");
+    assert_eq!(
+        rec.fetch_failures, rec.jobs_reenqueued,
+        "every failed fetch is re-enqueued"
+    );
+    assert_eq!(out0.report.total_jobs(), layout.n_jobs() as u64);
+    assert_eq!(
+        out.result.into_sorted(),
+        out0.result.into_sorted(),
+        "recovery path must not change the answer"
+    );
 }
 
 /// A cloud master with a nonzero head RTT still terminates and balances;
@@ -401,8 +463,14 @@ fn head_rtt_adds_latency_but_preserves_correctness() {
         let placement =
             Placement::split_fraction(layout.files.len(), 0.5, LocationId(0), LocationId(1));
         let mut stores: StoreMap = BTreeMap::new();
-        stores.insert(LocationId(0), Arc::new(MemStore::new("a")) as Arc<dyn ObjectStore>);
-        stores.insert(LocationId(1), Arc::new(MemStore::new("b")) as Arc<dyn ObjectStore>);
+        stores.insert(
+            LocationId(0),
+            Arc::new(MemStore::new("a")) as Arc<dyn ObjectStore>,
+        );
+        stores.insert(
+            LocationId(1),
+            Arc::new(MemStore::new("b")) as Arc<dyn ObjectStore>,
+        );
         materialize(&layout, &placement, &stores, spec.fill()).unwrap();
         let deployment = Deployment::new(
             vec![
@@ -416,9 +484,25 @@ fn head_rtt_adds_latency_but_preserves_correctness() {
     };
 
     let (placement, fast_dep) = build(0);
-    let fast = run(&app, &query, &layout, &placement, &fast_dep, &RuntimeConfig::default()).unwrap();
+    let fast = run(
+        &app,
+        &query,
+        &layout,
+        &placement,
+        &fast_dep,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
     let (placement, slow_dep) = build(30);
-    let slow = run(&app, &query, &layout, &placement, &slow_dep, &RuntimeConfig::default()).unwrap();
+    let slow = run(
+        &app,
+        &query,
+        &layout,
+        &placement,
+        &slow_dep,
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
 
     assert_eq!(
         fast.result.into_sorted(),
@@ -472,10 +556,7 @@ fn cached_store_accelerates_iterative_passes() {
     let cached = Arc::new(CachedStore::new(remote, 64 << 20));
     let mut fabric = DataFabric::new();
     fabric.set_path(LocationId(0), LocationId(1), cached.clone());
-    let deployment = Deployment::new(
-        vec![ClusterSpec::new("local", LocationId(0), 2)],
-        fabric,
-    );
+    let deployment = Deployment::new(vec![ClusterSpec::new("local", LocationId(0), 2)], fabric);
 
     let app = KMeansApp::new(spec.dim, 2);
     let init = Centroids::new(

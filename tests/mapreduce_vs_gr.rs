@@ -132,7 +132,11 @@ proptest! {
 #[test]
 fn combiner_heavy_workload_equivalence() {
     let splits: Vec<Vec<u64>> = (0..16)
-        .map(|s| (0..10_000).map(|i| ((i * 31 + s * 7) % 257) as u64).collect())
+        .map(|s| {
+            (0..10_000)
+                .map(|i| ((i * 31 + s * 7) % 257) as u64)
+                .collect()
+        })
         .collect();
     let naive = {
         let mut m: BTreeMap<u64, u64> = BTreeMap::new();

@@ -81,6 +81,7 @@ proptest! {
             remote_batch,
             allow_stealing: true,
             consecutive: true,
+            ..PoolConfig::default()
         };
         let total = n_files * chunks_per_file as usize;
         let (granted, pool) = drive_pool(n_files, chunks_per_file, frac, cfg, &schedule);

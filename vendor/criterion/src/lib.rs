@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the group-based API this workspace's benches use
+//! (`benchmark_group` / `sample_size` / `throughput` / `bench_function` /
+//! `finish`, plus the `criterion_group!`/`criterion_main!` macros) and
+//! reports mean wall-clock time per iteration — no statistics, plots, or
+//! baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How to express per-iteration throughput alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId2 {
+    fn from(b: BenchmarkId) -> Self {
+        BenchmarkId2(b.id)
+    }
+}
+
+impl From<&str> for BenchmarkId2 {
+    fn from(s: &str) -> Self {
+        BenchmarkId2(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId2 {
+    fn from(s: String) -> Self {
+        BenchmarkId2(s)
+    }
+}
+
+/// Internal unified id so `bench_function` accepts both `&str` and
+/// [`BenchmarkId`], like the real crate's `IntoBenchmarkId`.
+pub struct BenchmarkId2(String);
+
+/// Runs closures under timing.
+pub struct Bencher {
+    samples: u64,
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_s: f64,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then `samples` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId2>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        let mut b = Bencher {
+            samples: self.samples,
+            mean_s: 0.0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if b.mean_s > 0.0 => {
+                format!("  {:.1} MiB/s", n as f64 / b.mean_s / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if b.mean_s > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / b.mean_s / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {}{}",
+            self.name,
+            id,
+            format_time(Duration::from_secs_f64(b.mean_s)),
+            rate
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group(name.to_string())
+            .bench_function(name, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("count"), |b| {
+            b.iter(|| runs += 1)
+        });
+        g.finish();
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+}

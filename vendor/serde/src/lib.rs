@@ -1,0 +1,223 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based data model, this shim converts through
+//! a single JSON [`value::Value`] tree: `Serialize` renders into it,
+//! `Deserialize` reads out of it, and `serde_json` is a thin parser/printer
+//! over the same type. That covers this workspace's usage — derived structs
+//! of primitives, `String`, `Option<T>`, `Vec<T>`, and nested derived
+//! structs — while staying dependency-free.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Error, Value};
+
+/// Render `self` as a JSON value tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived impls when a field is absent and has no
+    /// `#[serde(default)]`. `Option<T>` overrides this to yield `None`,
+    /// matching serde's treatment of missing optional fields.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(value::Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_number()?;
+                let wide = match *n {
+                    value::Number::U64(u) => u,
+                    value::Number::I64(i) => {
+                        u64::try_from(i).map_err(|_| Error::custom(
+                            format!("expected {}, got {i}", stringify!($t))))?
+                    }
+                    value::Number::F64(f) => {
+                        return Err(Error::custom(
+                            format!("expected {}, got float {f}", stringify!($t))));
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom(
+                    format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(value::Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_number()?;
+                let wide = match *n {
+                    value::Number::U64(u) => {
+                        i64::try_from(u).map_err(|_| Error::custom(
+                            format!("{u} out of range for {}", stringify!($t))))?
+                    }
+                    value::Number::I64(i) => i,
+                    value::Number::F64(f) => {
+                        return Err(Error::custom(
+                            format!("expected {}, got float {f}", stringify!($t))));
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom(
+                    format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(value::Number::F64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                Ok(match *v.as_number()? {
+                    value::Number::U64(u) => u as $t,
+                    value::Number::I64(i) => i as $t,
+                    value::Number::F64(f) => f as $t,
+                })
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    T::from_json_value(item).map_err(|e| e.in_field(&format!("[{i}]")))
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits
+//! (JSON-`Value`-based, not the real serde data model) for named-field
+//! structs. Parses the item token stream directly — no `syn`/`quote` — and
+//! emits the impl by formatting source text.
+//!
+//! Supported `#[serde(...)]` attributes, matching this workspace's usage:
+//! container-level `deny_unknown_fields`; field-level `default` and
+//! `default = "path"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let mut pushes = String::new();
+    for f in &s.fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{name}\".to_string(), ::serde::Serialize::to_json_value(&self.{name})));\n",
+            name = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::value::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+
+    let mut inits = String::new();
+    for f in &s.fields {
+        let absent = match &f.default {
+            Default_::None => format!(
+                "<{ty} as ::serde::Deserialize>::missing_field(\"{name}\")?",
+                ty = f.ty,
+                name = f.name
+            ),
+            Default_::Trait => "::std::default::Default::default()".to_string(),
+            Default_::Path(p) => format!("{p}()"),
+        };
+        inits.push_str(&format!(
+            "{name}: match pairs.iter().find(|(k, _)| k.as_str() == \"{name}\") {{\n\
+                 Some((_, v)) => <{ty} as ::serde::Deserialize>::from_json_value(v)\n\
+                     .map_err(|e| e.in_field(\"{name}\"))?,\n\
+                 None => {absent},\n\
+             }},\n",
+            name = f.name,
+            ty = f.ty,
+        ));
+    }
+
+    let deny = if s.deny_unknown_fields {
+        let known: Vec<String> = s.fields.iter().map(|f| format!("\"{}\"", f.name)).collect();
+        format!(
+            "for (k, _) in pairs.iter() {{\n\
+                 if ![{known}].contains(&k.as_str()) {{\n\
+                     return Err(::serde::value::Error::custom(format!(\n\
+                         \"unknown field `{{k}}` in {name}\")));\n\
+                 }}\n\
+             }}\n",
+            known = known.join(", "),
+            name = s.name,
+        )
+    } else {
+        String::new()
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &::serde::value::Value) -> Result<Self, ::serde::value::Error> {{\n\
+                 let pairs = match v {{\n\
+                     ::serde::value::Value::Object(pairs) => pairs,\n\
+                     other => return Err(::serde::value::Error::custom(format!(\n\
+                         \"expected object for {name}, got {{}}\", other.kind()))),\n\
+                 }};\n\
+                 {deny}\
+                 Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+enum Default_ {
+    /// No attribute: required field (Option<T> overrides `missing_field`).
+    None,
+    /// `#[serde(default)]`.
+    Trait,
+    /// `#[serde(default = "path")]`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    default: Default_,
+}
+
+struct Struct {
+    name: String,
+    deny_unknown_fields: bool,
+    fields: Vec<Field>,
+}
+
+/// Parse a named-field struct item. Anything else (enums, tuple structs,
+/// generics) is out of scope for this shim and panics with a clear message.
+fn parse_struct(input: TokenStream) -> Struct {
+    let mut toks = input.into_iter().peekable();
+    let mut deny_unknown_fields = false;
+
+    // Container attributes and visibility, then `struct Name`.
+    let name = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    for item in serde_attr_items(&g.stream()) {
+                        if item == "deny_unknown_fields" {
+                            deny_unknown_fields = true;
+                        }
+                    }
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                // Consume a possible `(crate)` restriction.
+                if let Some(TokenTree::Group(_)) = toks.peek() {
+                    toks.next();
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => match toks.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                other => panic!("serde_derive: expected struct name, got {other:?}"),
+            },
+            Some(TokenTree::Ident(_)) => {} // e.g. `union` would fail below
+            other => panic!("serde_derive: unexpected token before struct body: {other:?}"),
+        }
+    };
+
+    // The field block. A `<` here would mean generics, which we don't support.
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim supports only non-generic named-field structs; \
+             `{name}` has unexpected token {other:?}"
+        ),
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Field attributes (including doc comments, which arrive as
+        // `#[doc = "..."]`).
+        let mut default = Default_::None;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        for item in serde_attr_items(&g.stream()) {
+                            if item == "default" {
+                                default = Default_::Trait;
+                            } else if let Some(p) = item.strip_prefix("default=") {
+                                default = Default_::Path(p.trim_matches('"').to_string());
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // Visibility.
+        if let Some(TokenTree::Ident(i)) = toks.peek() {
+            if i.to_string() == "pub" {
+                toks.next();
+                if let Some(TokenTree::Group(_)) = toks.peek() {
+                    toks.next();
+                }
+            }
+        }
+
+        let fname = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name in {name}, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after {name}.{fname}, got {other:?}"),
+        }
+
+        // Type tokens up to the next top-level comma (angle brackets nest;
+        // parens/brackets are atomic groups in the token tree).
+        let mut depth = 0i32;
+        let mut ty_toks: Vec<TokenTree> = Vec::new();
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                None => break,
+                _ => {}
+            }
+            ty_toks.push(toks.next().unwrap());
+        }
+        let ty = ty_toks.into_iter().collect::<TokenStream>().to_string();
+
+        fields.push(Field {
+            name: fname,
+            ty,
+            default,
+        });
+    }
+
+    Struct {
+        name,
+        deny_unknown_fields,
+        fields,
+    }
+}
+
+/// If an attribute body (`serde(...)` / `doc = ...`) is a serde attribute,
+/// return its comma-separated items with whitespace stripped (so
+/// `default = "f"` becomes `default="f"`). Non-serde attributes yield none.
+fn serde_attr_items(attr_body: &TokenStream) -> Vec<String> {
+    let mut toks = attr_body.clone().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return Vec::new();
+    };
+    let mut items = Vec::new();
+    let mut cur = String::new();
+    for t in args.stream() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    items.push(std::mem::take(&mut cur));
+                }
+            }
+            other => cur.push_str(&other.to_string()),
+        }
+    }
+    if !cur.is_empty() {
+        items.push(cur);
+    }
+    items
+}
