@@ -4,7 +4,7 @@
 //! One pass assigns every point to its nearest centroid and accumulates
 //! per-centroid coordinate sums and counts in a [`VecSum`] of length
 //! `k * (dim + 1)` — the classic generalized-reduction formulation. The
-//! driver ([`next_centroids`], [`Centroids::update`]) recomputes centroids
+//! driver ([`next_centroids`]) recomputes centroids
 //! between passes; iteration happens by re-running the framework with new
 //! [`Centroids`] params.
 

@@ -1,0 +1,102 @@
+//! Iterative k-means through the runtime's pass cache: the second and
+//! later passes of an iterative run re-read exactly the chunks the first
+//! pass fetched, so with `cache_bytes` set they must be served from the
+//! per-location [`CachedStore`] — visible as cache hits in the report —
+//! without changing the computed centroids.
+
+use cb_apps::kmeans::{centroid_shift, next_centroids, Centroids, KMeansApp};
+use cb_apps::points;
+use cb_storage::builder::{materialize, StoreMap};
+use cb_storage::layout::{ChunkMeta, LocationId, Placement};
+use cb_storage::organizer::organize_even;
+use cb_storage::store::{MemStore, ObjectStore};
+use cloudburst_core::config::RuntimeConfig;
+use cloudburst_core::deploy::{ClusterSpec, DataFabric, Deployment};
+use cloudburst_core::iterate::{run_iterative, Step};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const DIM: usize = 2;
+
+/// Two tight blobs around (1, 1) and (8, 8), deterministic per chunk.
+fn fill(chunk: &ChunkMeta, buf: &mut [u8]) {
+    let mut pts = Vec::with_capacity(chunk.units as usize * DIM);
+    for i in 0..chunk.units {
+        let jitter = ((chunk.id.0 as u64 + i) % 7) as f32 * 0.01;
+        if (chunk.id.0 as u64 + i).is_multiple_of(2) {
+            pts.extend_from_slice(&[1.0 + jitter, 1.0 - jitter]);
+        } else {
+            pts.extend_from_slice(&[8.0 - jitter, 8.0 + jitter]);
+        }
+    }
+    points::encode_into(&pts, DIM, buf);
+}
+
+fn env() -> (cb_storage::layout::DatasetLayout, Placement, Deployment) {
+    let unit = points::unit_bytes(DIM);
+    let layout = organize_even(2, 64 * unit, 16 * unit, unit).unwrap();
+    let placement = Placement::all_at(2, LocationId(0));
+    let mut stores: StoreMap = BTreeMap::new();
+    stores.insert(
+        LocationId(0),
+        Arc::new(MemStore::new("m")) as Arc<dyn ObjectStore>,
+    );
+    materialize(&layout, &placement, &stores, fill).unwrap();
+    let deployment = Deployment::new(
+        vec![ClusterSpec::new("local", LocationId(0), 2)],
+        DataFabric::direct(&stores),
+    );
+    (layout, placement, deployment)
+}
+
+fn three_passes(cfg: &RuntimeConfig) -> cloudburst_core::iterate::IterativeOutcome<Centroids> {
+    let (layout, placement, deployment) = env();
+    let app = KMeansApp::new(DIM, 2);
+    let initial = Centroids::new(DIM, vec![0.0, 0.0, 10.0, 10.0]);
+    run_iterative(
+        &app,
+        initial,
+        &layout,
+        &placement,
+        &deployment,
+        cfg,
+        3,
+        |_i, robj, prev| Step::Continue(next_centroids(&app, &robj, prev)),
+    )
+    .unwrap()
+}
+
+#[test]
+fn second_pass_hits_the_cache_and_centroids_are_unchanged() {
+    let cached = three_passes(&RuntimeConfig {
+        cache_bytes: 1 << 20, // the whole dataset fits
+        ..Default::default()
+    });
+    assert_eq!(cached.iterations, 3);
+    assert!(
+        cached.reports[0].cache_misses > 0,
+        "the first pass fetches every chunk cold: {:?}",
+        cached.reports[0]
+    );
+    assert_eq!(cached.reports[0].cache_hits, 0);
+    for r in &cached.reports[1..] {
+        assert!(r.cache_hits > 0, "later passes must hit the cache: {r:?}");
+        assert_eq!(r.cache_misses, 0, "nothing should be refetched: {r:?}");
+    }
+
+    // The cache is a transport detail: same centroid trajectory (up to
+    // float merge-order noise across runs of the threaded runtime).
+    let uncached = three_passes(&RuntimeConfig::default());
+    assert!(
+        centroid_shift(&cached.params, &uncached.params) < 1e-6,
+        "caching changed the computation: {:?} vs {:?}",
+        cached.params,
+        uncached.params
+    );
+    for r in &uncached.reports {
+        assert_eq!((r.cache_hits, r.cache_misses), (0, 0));
+    }
+    // Both runs should have landed on the blob centres.
+    assert!((cached.params.centroid(0)[0] - 1.0).abs() < 0.1);
+    assert!((cached.params.centroid(1)[0] - 8.0).abs() < 0.1);
+}

@@ -11,8 +11,11 @@
 //! Experiments: `fig1`, `fig3a`, `fig3b`, `fig3c`, `table1`, `table2`,
 //! `fig4a`, `fig4b`, `fig4c`, `headline`, `ablate-consecutive`,
 //! `ablate-contention`, `ablate-stealing`, `ablate-retrieval`,
-//! `ablate-jitter`, `ablate-prefetch`, `ablate-failures`, `multicloud`,
-//! `sweep-wan`, `sweep-robj`, `seeds`, `timeline`, `all`. Figures 3–4 and the tables run on the calibrated
+//! `ablate-jitter`, `ablate-prefetch`, `ablate-overlap`, `ablate-failures`,
+//! `multicloud`, `sweep-wan`, `sweep-robj`, `seeds`, `timeline`, `all`.
+//! `ablate-overlap --smoke` additionally verifies the ablation is
+//! deterministic and that depth 1 beats the serial slave, exiting nonzero
+//! otherwise (a CI guard). Figures 3–4 and the tables run on the calibrated
 //! discrete-event simulator at full paper scale (120 GB / 960 jobs); fig1
 //! runs real code on real data. Simulated numbers are printed next to the
 //! paper's where the paper reports them.
@@ -49,6 +52,7 @@ fn main() {
         "ablate-retrieval",
         "ablate-jitter",
         "ablate-prefetch",
+        "ablate-overlap",
         "ablate-failures",
         "multicloud",
         "sweep-wan",
@@ -122,6 +126,38 @@ fn main() {
         print_ablation(
             "ablate-prefetch — master refill low-water mark under a stressed 1s head RTT (knn, env-cloud)",
             experiments::ablate_prefetch(&net, DEFAULT_SEED),
+        );
+    }
+    if run("ablate-overlap") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let rows = experiments::ablate_overlap(&net, DEFAULT_SEED);
+        if smoke {
+            let again = experiments::ablate_overlap(&net, DEFAULT_SEED);
+            let mut ok = true;
+            if rows != again {
+                eprintln!("ablate-overlap smoke: rows differ between runs (non-deterministic)");
+                ok = false;
+            }
+            if rows[1].total_s >= rows[0].total_s {
+                eprintln!(
+                    "ablate-overlap smoke: depth 1 ({:.2}s) does not beat serial ({:.2}s)",
+                    rows[1].total_s, rows[0].total_s
+                );
+                ok = false;
+            }
+            if !ok {
+                std::process::exit(1);
+            }
+            println!(
+                "ablate-overlap smoke: deterministic; depth 1 beats serial ({:.2}s -> {:.2}s, {:.2}x)",
+                rows[0].total_s,
+                rows[1].total_s,
+                rows[0].total_s / rows[1].total_s
+            );
+        }
+        print_ablation(
+            "ablate-overlap — slave prefetch pipeline: retrieval overlapped with compute (kmeans, env-cloud)",
+            rows,
         );
     }
     if run("multicloud") {
@@ -213,10 +249,12 @@ fn write_json(dir: &std::path::Path, what: &str, net: &NetConstants) {
         write("sweep-robj", serde_json::to_value(&rows).unwrap());
     }
     if run("ablate-prefetch") {
-        print_ablation(
-            "ablate-prefetch — master refill low-water mark under a stressed 1s head RTT (knn, env-cloud)",
-            experiments::ablate_prefetch(net, DEFAULT_SEED),
-        );
+        let rows = experiments::ablate_prefetch(net, DEFAULT_SEED);
+        write("ablate-prefetch", serde_json::to_value(&rows).unwrap());
+    }
+    if run("ablate-overlap") {
+        let rows = experiments::ablate_overlap(net, DEFAULT_SEED);
+        write("ablate-overlap", serde_json::to_value(&rows).unwrap());
     }
     if run("multicloud") {
         let rows = experiments::run_multicloud(App::Knn, net, DEFAULT_SEED);

@@ -28,7 +28,7 @@ use std::sync::Arc;
 pub const USAGE: &str = "cloudburst run --app wordcount|knn|selection|pagerank \
 --index <file> --data <dir> [--data2 <dir>] [--frac-local <0..1>] [--cores <n>] \
 [--cores2 <n>] [--dim <d>] [--k <n>] [--passes <n>] [--fault-rate <0..1>] \
-[--kill-slave <cluster:slave:after_jobs>[,..]]";
+[--kill-slave <cluster:slave:after_jobs>[,..]] [--prefetch-depth <n>]";
 
 /// Parse a `--kill-slave` list: `cluster:slave:after_jobs`, comma-separated.
 pub(crate) fn parse_kill_schedule(
@@ -68,6 +68,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         "passes",
         "fault-rate",
         "kill-slave",
+        "prefetch-depth",
     ])?;
     let app_name = args.require("app")?;
     let index_path = args.require("index")?;
@@ -122,6 +123,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
     }
 
     let mut cfg = RuntimeConfig::default();
+    cfg.prefetch_depth = args.get_or("prefetch-depth", cfg.prefetch_depth)?;
     if let Some(spec) = args.get("kill-slave") {
         cfg.kill_schedule = parse_kill_schedule(spec)?;
     }

@@ -12,7 +12,8 @@ use std::fmt::Write as _;
 pub const USAGE: &str = "cloudburst simulate --app knn|kmeans|pagerank \
 [--env local|cloud|50/50|33/67|17/83] [--seed <n>] [--timeline true] \
 [--wan-mult <x>] [--fault-rate <0..1>] \
-[--kill-slave <cluster:slave:after_jobs>[,..]] | --config <scenario.json>";
+[--kill-slave <cluster:slave:after_jobs>[,..]] [--prefetch-depth <n>] \
+| --config <scenario.json>";
 
 /// A custom scenario file: every field optional except `app`.
 ///
@@ -47,6 +48,9 @@ struct Scenario {
     robj_mb: Option<f64>,
     cloud_jitter_cv: Option<f64>,
     allow_stealing: Option<bool>,
+    /// Slave prefetch lookahead; 0 (the default) is the paper's serial slave.
+    #[serde(default)]
+    prefetch_depth: usize,
     #[serde(default)]
     timeline: bool,
 }
@@ -100,6 +104,7 @@ fn run_config(path: &str) -> Result<String, CmdError> {
     if let Some(st) = sc.allow_stealing {
         params.pool.allow_stealing = st;
     }
+    params.prefetch_depth = sc.prefetch_depth;
 
     let mut s = String::new();
     let _ = writeln!(
@@ -143,6 +148,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         "config",
         "fault-rate",
         "kill-slave",
+        "prefetch-depth",
     ])?;
     if let Some(path) = args.get("config") {
         return run_config(path);
@@ -173,6 +179,7 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
     net.wan_conn_bps *= wan_mult;
     net.robj_conn_bps *= wan_mult;
     let mut params = calib::build_params(app, env, &net, seed);
+    params.prefetch_depth = args.get_or("prefetch-depth", 0)?;
     params.faults.fetch_failure_prob = fault_rate;
     if let Some(spec) = args.get("kill-slave") {
         params.faults.kill_schedule = crate::commands::run::parse_kill_schedule(spec)?;

@@ -59,6 +59,18 @@ pub struct RuntimeConfig {
     pub slave_failure_threshold: u32,
     /// Deterministic fault-injection hook: scheduled slave fail-stops.
     pub kill_schedule: Vec<SlaveKill>,
+    /// How many jobs a slave prefetches ahead of the one it is folding.
+    /// With depth `d`, a slave holds up to `1 + d` leases: the chunk being
+    /// processed plus up to `d` being retrieved by its background fetcher,
+    /// so retrieval overlaps computation (the FREERIDE-style double buffer
+    /// at depth 1). `0` restores strictly serial fetch-then-fold behaviour.
+    pub prefetch_depth: usize,
+    /// Byte budget for a per-location read-through chunk cache
+    /// ([`cb_storage::cache::CachedStore`]) wrapped around every fabric
+    /// path during *iterative* runs ([`crate::iterate::run_iterative`]):
+    /// passes after the first hit memory instead of the wire. `0` disables
+    /// caching. Single-pass [`crate::runtime::run`] ignores this knob.
+    pub cache_bytes: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +86,8 @@ impl Default for RuntimeConfig {
             retrieval_deadline: None,
             slave_failure_threshold: 3,
             kill_schedule: Vec::new(),
+            prefetch_depth: 1,
+            cache_bytes: 0,
         }
     }
 }

@@ -11,7 +11,10 @@ use crate::config::RuntimeConfig;
 use crate::deploy::Deployment;
 use crate::report::RunReport;
 use crate::runtime::{run, RuntimeError};
-use cb_storage::layout::{DatasetLayout, Placement};
+use cb_storage::cache::CachedStore;
+use cb_storage::layout::{DatasetLayout, LocationId, Placement};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// What an application's update step tells the driver to do next.
 pub enum Step<P> {
@@ -41,9 +44,35 @@ impl<P> IterativeOutcome<P> {
     }
 }
 
+/// Wrap every fabric path of a copy of `deployment` in a [`CachedStore`]
+/// with `capacity_bytes` budget each, returning the cached deployment plus
+/// handles to the caches (for hit/miss accounting). Iterative runs re-read
+/// the same chunks every pass, so a read-through cache turns passes after
+/// the first into memory reads.
+fn cached_deployment(
+    deployment: &Deployment,
+    capacity_bytes: usize,
+) -> (Deployment, Vec<Arc<CachedStore>>) {
+    let mut d = deployment.clone();
+    let sites: BTreeSet<LocationId> = d.fabric.paths().map(|(_, to, _)| to).collect();
+    let mut caches = Vec::new();
+    for site in sites {
+        d.fabric.wrap_paths_to(site, |inner| {
+            let cache = Arc::new(CachedStore::new(inner, capacity_bytes));
+            caches.push(Arc::clone(&cache));
+            cache
+        });
+    }
+    (d, caches)
+}
+
 /// Run `app` repeatedly: after each pass, `update(pass_index, robj, params)`
 /// produces the next parameters or declares convergence. At most
 /// `max_iterations` passes (0 is rejected — it would mean never running).
+///
+/// When `cfg.cache_bytes > 0`, every fabric path is wrapped in a
+/// [`CachedStore`] shared across passes; each pass's report carries that
+/// pass's cache hit/miss deltas.
 ///
 /// The reduction object is handed to `update` by value; parameters flow
 /// through the driver so the caller keeps no mutable state of their own.
@@ -63,10 +92,23 @@ where
     F: FnMut(usize, A::RObj, &A::Params) -> Step<A::Params>,
 {
     assert!(max_iterations > 0, "max_iterations must be >= 1");
+    let (cached, caches) = if cfg.cache_bytes > 0 {
+        let (d, caches) = cached_deployment(deployment, cfg.cache_bytes);
+        (Some(d), caches)
+    } else {
+        (None, Vec::new())
+    };
+    let deployment = cached.as_ref().unwrap_or(deployment);
+    let (mut prev_hits, mut prev_misses) = (0u64, 0u64);
     let mut params = initial;
     let mut reports = Vec::new();
     for iter in 0..max_iterations {
-        let out = run(app, &params, layout, placement, deployment, cfg)?;
+        let mut out = run(app, &params, layout, placement, deployment, cfg)?;
+        let hits: u64 = caches.iter().map(|c| c.hits()).sum();
+        let misses: u64 = caches.iter().map(|c| c.misses()).sum();
+        out.report.cache_hits = hits - prev_hits;
+        out.report.cache_misses = misses - prev_misses;
+        (prev_hits, prev_misses) = (hits, misses);
         reports.push(out.report);
         match update(iter, out.result, &params) {
             Step::Done(p) => {
@@ -219,6 +261,52 @@ mod tests {
         )
         .unwrap();
         assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cache_turns_later_passes_into_hits() {
+        let (layout, placement, deployment) = env();
+        let cfg = RuntimeConfig {
+            cache_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let step = |_i: usize, _robj: Count, thr: &u8| Step::Continue(thr + 1);
+        let out = run_iterative(
+            &ThresholdCount,
+            0u8,
+            &layout,
+            &placement,
+            &deployment,
+            &cfg,
+            3,
+            step,
+        )
+        .unwrap();
+        assert_eq!(out.iterations, 3);
+        assert!(out.reports[0].cache_misses > 0, "first pass is cold");
+        assert_eq!(out.reports[0].cache_hits, 0, "nothing cached before pass 0");
+        for r in &out.reports[1..] {
+            assert!(r.cache_hits > 0, "later passes re-read from the cache");
+            assert_eq!(r.cache_misses, 0, "the dataset fits; no re-misses");
+        }
+
+        // Caching must not change the computation, and an uncached run
+        // reports no cache traffic at all.
+        let base = run_iterative(
+            &ThresholdCount,
+            0u8,
+            &layout,
+            &placement,
+            &deployment,
+            &RuntimeConfig::default(),
+            3,
+            step,
+        )
+        .unwrap();
+        assert_eq!(out.params, base.params);
+        for r in &base.reports {
+            assert_eq!((r.cache_hits, r.cache_misses), (0, 0));
+        }
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub struct ClusterBreakdown {
     pub bytes_local: u64,
     /// Bytes retrieved from remote sites.
     pub bytes_remote: u64,
+    /// Mean per-core retrieval time *hidden* behind computation by the
+    /// prefetch pipeline: `retrieval_s - fetch_stall_s`. Zero when
+    /// `prefetch_depth == 0` (serial slaves hide nothing).
+    #[serde(default)]
+    pub overlap_saved_s: f64,
+    /// Mean per-core time a slave's fold loop actually *stalled* waiting on
+    /// its fetcher. With prefetching this is the un-hidden remainder of
+    /// `retrieval_s`; without it, it equals `retrieval_s`.
+    #[serde(default)]
+    pub fetch_stall_s: f64,
 }
 
 /// Fault-recovery accounting for one run. All zeros on a failure-free run.
@@ -84,6 +94,13 @@ pub struct RunReport {
     /// Failure-injection and recovery accounting (zeros when clean).
     #[serde(default)]
     pub recovery: RecoveryStats,
+    /// Chunk-cache hits across the run (iterative runs with
+    /// `cache_bytes > 0`; zero otherwise).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Chunk-cache misses across the run.
+    #[serde(default)]
+    pub cache_misses: u64,
 }
 
 impl RunReport {
@@ -181,6 +198,8 @@ mod tests {
                     jobs_stolen: 0,
                     bytes_local: 1 << 30,
                     bytes_remote: 0,
+                    overlap_saved_s: 0.0,
+                    fetch_stall_s: 30.0,
                 },
                 ClusterBreakdown {
                     name: "EC2".into(),
@@ -194,9 +213,13 @@ mod tests {
                     jobs_stolen: 64,
                     bytes_local: 1 << 29,
                     bytes_remote: 1 << 28,
+                    overlap_saved_s: 5.0,
+                    fetch_stall_s: 20.0,
                 },
             ],
             recovery: RecoveryStats::default(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -248,6 +271,24 @@ mod tests {
         let text = r.render();
         assert!(text.contains("3 jobs re-enqueued"));
         assert!(text.contains("1 slaves killed"));
+    }
+
+    #[test]
+    fn json_without_prefetch_or_cache_fields_defaults_zero() {
+        // Reports serialized before the prefetch pipeline existed must
+        // still load, with the overlap/stall/cache fields defaulting to 0.
+        let r = sample();
+        let s = serde_json::to_string(&r).unwrap();
+        let stripped = s
+            .replace(",\"overlap_saved_s\":0,\"fetch_stall_s\":30", "")
+            .replace(",\"overlap_saved_s\":5,\"fetch_stall_s\":20", "")
+            .replace(",\"cache_hits\":0,\"cache_misses\":0", "");
+        assert_ne!(s, stripped, "new fields were serialized");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.clusters[1].overlap_saved_s, 0.0);
+        assert_eq!(back.clusters[1].fetch_stall_s, 0.0);
+        assert_eq!(back.cache_hits, 0);
+        assert_eq!(back.cache_misses, 0);
     }
 
     #[test]

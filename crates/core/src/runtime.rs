@@ -9,10 +9,13 @@
 //!   slaves over channels, refills from the head on demand, merges its
 //!   slaves' reduction objects (local combination) and ships the result to
 //!   the head through the cluster's WAN throttle;
-//! * **slave** — `cores` threads per cluster; each pulls jobs one at a time,
-//!   retrieves the chunk through the data fabric (multi-threaded ranged
-//!   GETs when the data is remote — "job stealing"), folds the units in
-//!   cache-sized groups, and accumulates into its private reduction object.
+//! * **slave** — `cores` threads per cluster; each holds up to
+//!   `1 + prefetch_depth` leases, retrieving the next chunk on a background
+//!   fetcher thread (through the data fabric; multi-threaded ranged GETs
+//!   when the data is remote — "job stealing") *while* folding the current
+//!   one in cache-sized groups into its private reduction object, so
+//!   retrieval overlaps computation. [`RuntimeConfig::prefetch_depth`]` = 0`
+//!   restores the strictly serial fetch-then-fold loop.
 //!
 //! The scheduling behaviour (locality, consecutive grants, contention-aware
 //! stealing, demand-driven balancing) lives entirely in [`crate::sched`] and
@@ -49,12 +52,14 @@ use crate::deploy::Deployment;
 use crate::report::{ClusterBreakdown, RecoveryStats, RunReport};
 use crate::sched::master::{MasterJob, MasterPool};
 use crate::sched::pool::JobPool;
+use bytes::Bytes;
 use cb_storage::layout::{ChunkId, DatasetLayout, LocationId, Placement};
 use cb_storage::retrieve::Retriever;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -117,6 +122,10 @@ impl std::error::Error for RuntimeError {}
 struct SlaveStats {
     processing: Duration,
     retrieval: Duration,
+    /// Time the fold loop actually *blocked* waiting for its fetcher to
+    /// deliver chunk data. Without prefetching this equals `retrieval`;
+    /// with it, `retrieval - fetch_stall` is what the pipeline hid.
+    fetch_stall: Duration,
     jobs: u64,
     stolen_jobs: u64,
     units: u64,
@@ -144,19 +153,51 @@ enum RetireReason {
 }
 
 /// Slave → master messages.
+///
+/// A slave with `prefetch_depth > 0` holds several leases at once, so job
+/// outcomes can no longer always piggyback on the next request: `Resolve`
+/// reports an outcome without asking for more work, and `Reclaim` returns a
+/// prefetched lease that a retiring slave never folded.
 enum ToMaster<R> {
-    /// "Give me a job"; carries the outcome of the job just held (if any)
-    /// so the master can report it to the head.
+    /// "Give me a job"; carries the outcome of a job this slave resolved
+    /// since its last message (if any) so the master can report it to the
+    /// head.
     Request { slave: usize, outcome: JobOutcome },
+    /// Report an outcome *without* requesting another job — a retiring
+    /// slave flushing the results of jobs it already folded (or failed).
+    Resolve { outcome: JobOutcome },
+    /// Return an in-flight prefetched lease un-folded (the slave is
+    /// retiring). The head re-enqueues it without charging the job's
+    /// failure budget — nothing is wrong with the chunk.
+    Reclaim { chunk: ChunkId },
     /// Final report: stats plus this slave's reduction object. The partial
     /// reduction object is sent even on retirement — under generalized
-    /// reduction it is a valid checkpoint and still merges.
+    /// reduction it is a valid checkpoint and still merges. All outcomes
+    /// and leases have been resolved/reclaimed by this point.
     Finished {
         stats: SlaveStats,
         robj: Box<R>,
-        outcome: JobOutcome,
         retired: Option<RetireReason>,
     },
+}
+
+/// Fetcher → fold-loop messages (the slave-side prefetch pipeline).
+enum Fetched {
+    /// The fetcher picked up a lease and is about to retrieve it. A recv
+    /// that unblocks on this was waiting on the *master*, not on data, so
+    /// it counts as sync time rather than fetch stall.
+    Started,
+    /// A retrieval finished (either way). `fetch_time` is the wall time
+    /// the fetcher spent retrieving; `remote` is whether the chunk's home
+    /// is another site.
+    Data {
+        job: MasterJob,
+        result: io::Result<Bytes>,
+        fetch_time: Duration,
+        remote: bool,
+    },
+    /// The master answered "no more jobs" to one of our requests.
+    NoMore,
 }
 
 /// Master → head-collector message.
@@ -370,6 +411,18 @@ pub fn run<A: GRApp>(
             .map(|s| s.retrieval.as_secs_f64())
             .sum::<f64>()
             / n;
+        let stall_s: f64 = r
+            .stats
+            .iter()
+            .map(|s| s.fetch_stall.as_secs_f64())
+            .sum::<f64>()
+            / n;
+        let overlap_s: f64 = r
+            .stats
+            .iter()
+            .map(|s| s.retrieval.saturating_sub(s.fetch_stall).as_secs_f64())
+            .sum::<f64>()
+            / n;
         let wall_s = r.local_done.saturating_duration_since(t0).as_secs_f64();
         clusters.push(ClusterBreakdown {
             name: spec.name.clone(),
@@ -385,6 +438,8 @@ pub fn run<A: GRApp>(
             jobs_stolen: r.stats.iter().map(|s| s.stolen_jobs).sum(),
             bytes_local: r.stats.iter().map(|s| s.bytes_local).sum(),
             bytes_remote: r.stats.iter().map(|s| s.bytes_remote).sum(),
+            overlap_saved_s: overlap_s,
+            fetch_stall_s: stall_s,
         });
     }
     let report = RunReport {
@@ -393,6 +448,8 @@ pub fn run<A: GRApp>(
         robj_bytes: final_robj.size_bytes() as u64,
         clusters,
         recovery,
+        cache_hits: 0,
+        cache_misses: 0,
     };
     Ok(RunOutcome {
         result: final_robj,
@@ -468,13 +525,17 @@ fn master_loop<A: GRApp>(
                 note_outcome(head, loc, outcome, &mut recovery, &mut error);
                 parked.push_back(slave);
             }
+            Ok(ToMaster::Resolve { outcome }) => {
+                note_outcome(head, loc, outcome, &mut recovery, &mut error);
+            }
+            Ok(ToMaster::Reclaim { chunk }) => {
+                head.lock().release(loc, chunk);
+            }
             Ok(ToMaster::Finished {
                 stats: s,
                 robj,
-                outcome,
                 retired,
             }) => {
-                note_outcome(head, loc, outcome, &mut recovery, &mut error);
                 match retired {
                     Some(RetireReason::Killed) => recovery.slaves_killed += 1,
                     Some(RetireReason::TooManyFailures) => recovery.slaves_retired += 1,
@@ -579,106 +640,229 @@ fn slave_loop<A: GRApp>(
 
     let mut robj = app.init(params);
     let mut stats = SlaveStats::default();
-    let mut outcome = JobOutcome::None;
     let mut retired: Option<RetireReason> = None;
     let mut consecutive_failures = 0u32;
 
-    loop {
-        // The injected fail-stop happens at a job boundary — the
-        // generalized-reduction model's natural checkpoint — so the
-        // accumulated reduction object below survives the "crash".
-        if let Some(n) = kill_after {
-            if stats.jobs >= n {
-                retired = Some(RetireReason::Killed);
-                break;
-            }
-        }
-        let request = ToMaster::Request {
-            slave,
-            outcome: std::mem::replace(&mut outcome, JobOutcome::None),
-        };
-        if to_master.send(request).is_err() {
-            break;
-        }
-        let Ok(Some(job)) = job_rx.recv() else {
-            break; // None (no more jobs) or master gone
-        };
-        let chunk = layout.chunk(job.chunk);
-        let file = layout.file(chunk.file);
-        let home = placement.home(chunk.file);
-        let store = deployment
-            .fabric
-            .store_for(my_loc, home)
-            .expect("deployment validated")
-            .as_ref();
-        let retriever = if home == my_loc {
-            &local_retriever
-        } else {
-            &remote_retriever
-        };
+    // The prefetch pipeline: this slave holds up to `1 + prefetch_depth`
+    // leases at once — the job being folded plus the lookahead a background
+    // fetcher thread is retrieving — so retrieval overlaps computation.
+    // Depth 0 degenerates to the strictly serial fetch-then-fold loop.
+    let capacity = 1 + cfg.prefetch_depth;
+    // Raised when this slave stops folding (kill, retirement, or drain):
+    // the fetcher skips further retrievals and hands leases straight back
+    // so they can be reclaimed.
+    let shutting_down = AtomicBool::new(false);
+    let (fetch_tx, fetch_rx) = unbounded::<Fetched>();
 
-        // Retrieve.
-        let t_r = Instant::now();
-        let bytes = match retriever.fetch(store, &file.name, chunk.offset, chunk.len) {
-            Ok(b) => b,
-            Err(e) => {
-                stats.retrieval += t_r.elapsed();
-                // The job is NOT complete: report it failed so the head
-                // re-enqueues it, and keep pulling work.
-                outcome = JobOutcome::Failed {
-                    chunk: job.chunk,
-                    error: format!(
-                        "slave {slave}@{}: fetching {} [{}+{}] from {}: {e}",
-                        cluster.name,
-                        file.name,
-                        chunk.offset,
-                        chunk.len,
-                        store.name()
-                    ),
+    std::thread::scope(|fs| {
+        // --- Background fetcher: owns the master->slave job channel. ---
+        let shutting_down = &shutting_down;
+        let local_retriever = &local_retriever;
+        let remote_retriever = &remote_retriever;
+        fs.spawn(move || {
+            while let Ok(msg) = job_rx.recv() {
+                let Some(job) = msg else {
+                    let _ = fetch_tx.send(Fetched::NoMore);
+                    continue;
                 };
-                consecutive_failures += 1;
-                if consecutive_failures >= cfg.slave_failure_threshold {
-                    retired = Some(RetireReason::TooManyFailures);
+                if shutting_down.load(Ordering::Relaxed) {
+                    // Don't start work the fold loop will discard; hand the
+                    // lease back immediately for reclaim.
+                    let _ = fetch_tx.send(Fetched::Data {
+                        job,
+                        result: Err(io::Error::new(
+                            io::ErrorKind::Interrupted,
+                            "slave shutting down",
+                        )),
+                        fetch_time: Duration::ZERO,
+                        remote: false,
+                    });
+                    continue;
+                }
+                let _ = fetch_tx.send(Fetched::Started);
+                let chunk = layout.chunk(job.chunk);
+                let file = layout.file(chunk.file);
+                let home = placement.home(chunk.file);
+                let store = deployment
+                    .fabric
+                    .store_for(my_loc, home)
+                    .expect("deployment validated");
+                let retriever = if home == my_loc {
+                    local_retriever
+                } else {
+                    remote_retriever
+                };
+                let t_r = Instant::now();
+                let result = retriever.fetch(store.as_ref(), &file.name, chunk.offset, chunk.len);
+                let send = fetch_tx.send(Fetched::Data {
+                    job,
+                    result,
+                    fetch_time: t_r.elapsed(),
+                    remote: home != my_loc,
+                });
+                if send.is_err() {
                     break;
                 }
-                continue;
             }
-        };
-        stats.retrieval += t_r.elapsed();
-        consecutive_failures = 0;
-        if home == my_loc {
-            stats.bytes_local += chunk.len;
-        } else {
-            stats.bytes_remote += chunk.len;
+        });
+
+        // --- Fold loop (this thread). ---
+        // Requests sent to the master whose reply has not yet surfaced
+        // from the fetcher (as Data or NoMore).
+        let mut outstanding = 0usize;
+        let mut no_more = false;
+        // Outcomes of resolved jobs waiting to piggyback on the next
+        // request (or be flushed as Resolve at shutdown).
+        let mut pending: VecDeque<JobOutcome> = VecDeque::new();
+
+        loop {
+            // Kill and retirement checks happen at job boundaries — the
+            // generalized-reduction model's natural checkpoint — so the
+            // accumulated reduction object survives the "crash".
+            if let Some(n) = kill_after {
+                if stats.jobs >= n {
+                    retired = Some(RetireReason::Killed);
+                    break;
+                }
+            }
+            if consecutive_failures >= cfg.slave_failure_threshold {
+                retired = Some(RetireReason::TooManyFailures);
+                break;
+            }
+
+            // Keep the pipeline primed: one request per free lease slot,
+            // each carrying one resolved outcome if available.
+            let mut master_gone = false;
+            while !no_more && outstanding < capacity {
+                let request = ToMaster::Request {
+                    slave,
+                    outcome: pending.pop_front().unwrap_or(JobOutcome::None),
+                };
+                if to_master.send(request).is_err() {
+                    master_gone = true;
+                    break;
+                }
+                outstanding += 1;
+            }
+            // Once the master said "no more", leftover outcomes cannot
+            // piggyback: flush them so the head can observe exhaustion.
+            while let Some(outcome) = pending.pop_front() {
+                if to_master.send(ToMaster::Resolve { outcome }).is_err() {
+                    master_gone = true;
+                    break;
+                }
+            }
+            if master_gone || outstanding == 0 {
+                break; // drained (or master gone)
+            }
+
+            let t_wait = Instant::now();
+            let Ok(msg) = fetch_rx.recv() else { break };
+            match msg {
+                Fetched::Started => {} // master wait, not a fetch stall
+                Fetched::NoMore => {
+                    no_more = true;
+                    outstanding -= 1;
+                }
+                Fetched::Data {
+                    job,
+                    result,
+                    fetch_time,
+                    remote,
+                } => {
+                    // Only waits that end in data count as fetch stall:
+                    // `Started` precedes `Data` in channel order, so this
+                    // block was spent waiting on the retrieval itself.
+                    stats.fetch_stall += t_wait.elapsed();
+                    outstanding -= 1;
+                    stats.retrieval += fetch_time;
+                    let chunk = layout.chunk(job.chunk);
+                    match result {
+                        Ok(bytes) => {
+                            consecutive_failures = 0;
+                            if remote {
+                                stats.bytes_remote += chunk.len;
+                            } else {
+                                stats.bytes_local += chunk.len;
+                            }
+                            // Process: decode, then fold in cache-sized
+                            // unit groups.
+                            let t_p = Instant::now();
+                            let units = app.decode_chunk(chunk, &bytes);
+                            for group in units.chunks(cfg.cache_group_units) {
+                                for u in group {
+                                    app.local_reduce(params, &mut robj, u);
+                                }
+                                if compute_ns > 0 {
+                                    burn(Duration::from_nanos(compute_ns * group.len() as u64));
+                                }
+                            }
+                            stats.processing += t_p.elapsed();
+                            stats.jobs += 1;
+                            stats.units += units.len() as u64;
+                            if job.stolen {
+                                stats.stolen_jobs += 1;
+                            }
+                            pending.push_back(JobOutcome::Completed(job.chunk));
+                        }
+                        Err(e) => {
+                            // The job is NOT complete: report it failed so
+                            // the head re-enqueues it, and keep pulling.
+                            let file = layout.file(chunk.file);
+                            let home = placement.home(chunk.file);
+                            let store = deployment
+                                .fabric
+                                .store_for(my_loc, home)
+                                .expect("deployment validated");
+                            pending.push_back(JobOutcome::Failed {
+                                chunk: job.chunk,
+                                error: format!(
+                                    "slave {slave}@{}: fetching {} [{}+{}] from {}: {e}",
+                                    cluster.name,
+                                    file.name,
+                                    chunk.offset,
+                                    chunk.len,
+                                    store.name()
+                                ),
+                            });
+                            consecutive_failures += 1;
+                        }
+                    }
+                }
+            }
         }
 
-        // Process: decode, then fold in cache-sized unit groups.
-        let t_p = Instant::now();
-        let units = app.decode_chunk(chunk, &bytes);
-        for group in units.chunks(cfg.cache_group_units) {
-            for u in group {
-                app.local_reduce(params, &mut robj, u);
-            }
-            if compute_ns > 0 {
-                burn(Duration::from_nanos(compute_ns * group.len() as u64));
+        // --- Shutdown: resolve what was folded, reclaim what was not. ---
+        // Ordering matters for liveness: outcomes flush *before* draining
+        // replies, because a held completion blocks pool exhaustion, which
+        // blocks the master's replies to our own outstanding requests.
+        shutting_down.store(true, Ordering::Relaxed);
+        for outcome in pending.drain(..) {
+            let _ = to_master.send(ToMaster::Resolve { outcome });
+        }
+        while outstanding > 0 {
+            let Ok(msg) = fetch_rx.recv() else { break };
+            match msg {
+                Fetched::Started => {}
+                Fetched::NoMore => outstanding -= 1,
+                Fetched::Data { job, .. } => {
+                    // Fetched or not, the job was never folded: reclaim it
+                    // immediately so another slave can process it.
+                    outstanding -= 1;
+                    let _ = to_master.send(ToMaster::Reclaim { chunk: job.chunk });
+                }
             }
         }
-        stats.processing += t_p.elapsed();
-        stats.jobs += 1;
-        stats.units += units.len() as u64;
-        if job.stolen {
-            stats.stolen_jobs += 1;
-        }
-        outcome = JobOutcome::Completed(job.chunk);
-    }
 
-    // Even a retiring slave's partial reduction object merges: under GR it
-    // is a valid checkpoint of the work it did complete.
-    let _ = to_master.send(ToMaster::Finished {
-        stats,
-        robj: Box::new(robj),
-        outcome,
-        retired,
+        // Even a retiring slave's partial reduction object merges: under
+        // GR it is a valid checkpoint of the work it did complete.
+        let _ = to_master.send(ToMaster::Finished {
+            stats,
+            robj: Box::new(robj),
+            retired,
+        });
+        // The scope now joins the fetcher: it exits once the master hangs
+        // up the job channel (after every slave has finished).
     });
 }
 

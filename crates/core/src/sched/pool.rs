@@ -293,25 +293,42 @@ impl JobPool {
     /// After `max_job_failures` such returns the job is declared dead
     /// instead (see [`JobPool::dead_jobs`]).
     pub fn fail(&mut self, loc: LocationId, job: ChunkId) {
+        self.return_lease(loc, job, true, "failed");
+    }
+
+    /// Return `job` — leased by `loc` but never *attempted* — to the pool
+    /// without charging its failure budget.
+    ///
+    /// Used for in-flight prefetched leases reclaimed from a retiring
+    /// slave: nothing is wrong with the chunk, so an innocent job must not
+    /// inch toward [`JobPool::dead_jobs`] just because its holders kept
+    /// dying. Still counts as a re-enqueue event.
+    pub fn release(&mut self, loc: LocationId, job: ChunkId) {
+        self.return_lease(loc, job, false, "released");
+    }
+
+    fn return_lease(&mut self, loc: LocationId, job: ChunkId, charge_budget: bool, verb: &str) {
         let idx = job.0 as usize;
         match self.state[idx] {
             JobState::Assigned(holder) => {
                 assert_eq!(
                     holder, loc,
-                    "{job} failed by {loc} but was assigned to {holder}"
+                    "{job} {verb} by {loc} but was assigned to {holder}"
                 );
             }
-            s => panic!("{job} failed while in state {s:?}"),
+            s => panic!("{job} {verb} while in state {s:?}"),
         }
         let f = self.chunk_file[idx].0 as usize;
         self.readers[f] -= 1;
         self.n_outstanding -= 1;
         self.counters.entry(loc).or_default().failed += 1;
-        self.failures[idx] += 1;
-        if self.failures[idx] > self.cfg.max_job_failures {
-            self.state[idx] = JobState::Dead;
-            self.n_dead += 1;
-            return;
+        if charge_budget {
+            self.failures[idx] += 1;
+            if self.failures[idx] > self.cfg.max_job_failures {
+                self.state[idx] = JobState::Dead;
+                self.n_dead += 1;
+                return;
+            }
         }
         self.state[idx] = JobState::Pending;
         // Front-insert, keeping the queue sorted: failed jobs are the
@@ -605,6 +622,27 @@ mod tests {
         // Reclaimed jobs are grantable again.
         assert_eq!(p.pending(), 16 - 1 - g2.jobs.len());
         assert!(p.reclaim(LOCAL).is_empty(), "idempotent once drained");
+    }
+
+    #[test]
+    fn release_reenqueues_without_charging_failure_budget() {
+        let mut p = pool(PoolConfig {
+            local_batch: 1,
+            max_job_failures: 2,
+            ..Default::default()
+        });
+        // Far more releases than the budget allows failures: the job stays
+        // alive — a lease returned unattempted says nothing about the chunk.
+        for _ in 0..10 {
+            let g = p.request(LOCAL);
+            assert_eq!(g.jobs[0], ChunkId(0));
+            p.release(LOCAL, g.jobs[0]);
+        }
+        assert!(p.dead_jobs().is_empty(), "released jobs never die");
+        assert_eq!(p.reenqueued(), 10);
+        let g = p.request(LOCAL);
+        assert_eq!(g.jobs[0], ChunkId(0), "released job grantable again");
+        p.complete(LOCAL, g.jobs[0]);
     }
 
     #[test]

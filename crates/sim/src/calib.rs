@@ -299,6 +299,8 @@ pub fn build_params(app: App, env: &EnvSpec, net: &NetConstants, seed: u64) -> S
         paths,
         pool: PoolConfig::default(),
         master_low_water: 4,
+        // The paper's slaves retrieve serially; overlap experiments opt in.
+        prefetch_depth: 0,
         robj_bytes: prof.robj_bytes,
         merge_bps: net.merge_bps,
         global_reduction_base: net.global_base,
@@ -422,6 +424,8 @@ pub fn build_multicloud_params(
         paths,
         pool: PoolConfig::default(),
         master_low_water: 4,
+        // The paper's slaves retrieve serially; overlap experiments opt in.
+        prefetch_depth: 0,
         robj_bytes: prof.robj_bytes,
         merge_bps: net.merge_bps,
         global_reduction_base: net.global_base,

@@ -82,7 +82,7 @@ pub struct Table2Row {
     pub slowdown_ratio: f64,
 }
 
-/// Derive Table II from fig3 rows (needs the env-local baseline, rows[0]).
+/// Derive Table II from fig3 rows (needs the env-local baseline, `rows[0]`).
 pub fn table2(app: App, rows: &[Fig3Row]) -> Vec<Table2Row> {
     let baseline = &rows[0].report;
     assert_eq!(rows[0].env, "env-local", "rows[0] must be the baseline");
@@ -163,7 +163,7 @@ pub fn average_speedup_pct(net: &NetConstants, seed: u64) -> f64 {
 }
 
 /// Ablation result: a labelled variant next to the default.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct AblationRow {
     pub variant: String,
     pub total_s: f64,
@@ -284,6 +284,28 @@ pub fn ablate_prefetch(net: &NetConstants, seed: u64) -> Vec<AblationRow> {
                 format!("low-water {low_water} (1s head RTT)"),
                 &simulate(p).expect("prefetch ablation"),
             )
+        })
+        .collect()
+}
+
+/// Slave-side retrieval/compute overlap (double buffering): sweep the slave
+/// prefetch depth on the all-remote, compute-heavy configuration (k-means
+/// in env-cloud), where every chunk crosses the S3 path but the cores are
+/// busy enough per chunk for a background fetch to hide behind the fold.
+/// Depth 0 is the paper's serial fetch-then-process slave.
+pub fn ablate_overlap(net: &NetConstants, seed: u64) -> Vec<AblationRow> {
+    let env = &calib::fig3_envs(App::KMeans)[1]; // env-cloud: all fetches are S3
+    [0usize, 1, 2, 4]
+        .into_iter()
+        .map(|depth| {
+            let mut p = calib::build_params(App::KMeans, env, net, seed);
+            p.prefetch_depth = depth;
+            let label = if depth == 0 {
+                "prefetch depth 0 (serial, paper)".to_string()
+            } else {
+                format!("prefetch depth {depth}")
+            };
+            ablation_row(label, &simulate(p).expect("overlap ablation"))
         })
         .collect()
 }
@@ -671,6 +693,25 @@ mod extension_tests {
             rows.last().unwrap().total_s < rows[0].total_s * 0.98,
             "prefetch should hide the head RTT: {rows:?}"
         );
+    }
+
+    #[test]
+    fn overlap_ablation_rewards_prefetch_deterministically() {
+        let n = NetConstants::default();
+        let rows = ablate_overlap(&n, DEFAULT_SEED);
+        assert_eq!(rows.len(), 4);
+        assert!(
+            rows[1].total_s < rows[0].total_s,
+            "double buffering must beat the serial slave: {rows:?}"
+        );
+        for r in &rows[1..] {
+            assert!(
+                r.total_s <= rows[0].total_s,
+                "deeper prefetch must never lose to serial: {rows:?}"
+            );
+        }
+        let again = ablate_overlap(&n, DEFAULT_SEED);
+        assert_eq!(rows, again, "the ablation must be deterministic");
     }
 
     #[test]

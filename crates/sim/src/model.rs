@@ -12,6 +12,13 @@
 //! `ProcessDone` → completion reported, next request. Cluster end: all
 //! slaves denied → local combination → `RobjSend` → WAN flow → `RobjArrive`
 //! at head → final merge → `FinalDone`.
+//!
+//! With `prefetch_depth > 0` each slave mirrors the runtime's pipelined
+//! fold loop: it holds up to `1 + depth` leases, its serial background
+//! fetcher streams them one at a time into a ready queue, and the compute
+//! unit drains that queue — retrieval overlaps computation, and only the
+//! un-hidden remainder of each fetch is counted as stall. At depth 0 the
+//! event sequence (and every RNG draw) is identical to the serial model.
 
 use crate::params::SimParams;
 use crate::trace::{SpanKind, Trace};
@@ -66,15 +73,54 @@ enum FlowTarget {
     },
 }
 
+/// A lease sitting in a slave's fetch pipeline, not yet fetch-started.
+#[derive(Debug, Clone, Copy)]
+struct QueuedFetch {
+    job: ChunkId,
+    stolen: bool,
+    /// Sequential-scan classification, decided at assignment time (the
+    /// cluster-level scan pointer advances in grant order).
+    seq: bool,
+}
+
+/// A fetched job waiting for the slave's compute unit.
+#[derive(Debug, Clone, Copy)]
+struct ReadyJob {
+    job: ChunkId,
+    /// When its fetch began (latency included) — the stall clock can only
+    /// start once the data is actually on the wire.
+    started: SimTime,
+}
+
 #[derive(Debug, Clone, Default)]
 struct SlaveState {
     busy_fetch: SimDur,
     busy_proc: SimDur,
+    /// Time the compute side sat waiting on an in-flight fetch (the
+    /// runtime's `fetch_stall`). At depth 0 this equals `busy_fetch`.
+    stall: SimDur,
     jobs: u64,
     stolen_jobs: u64,
     bytes_local: u64,
     bytes_remote: u64,
     consecutive_failures: u32,
+    /// Leases currently held: queued + in-flight fetch + ready + processing.
+    leases: usize,
+    /// In the cluster's `waiting` queue (avoid duplicate parking).
+    parked: bool,
+    /// The serial background fetcher is mid-fetch.
+    fetch_busy: bool,
+    /// The compute unit is mid-job.
+    proc_busy: bool,
+    /// Retired (kill or failure threshold) but still draining leases.
+    retiring: bool,
+    /// Leased jobs whose fetch has not started yet.
+    fetch_queue: VecDeque<QueuedFetch>,
+    /// Fetched jobs awaiting compute.
+    ready: VecDeque<ReadyJob>,
+    /// When the compute unit went idle (`None` while busy); the portion of
+    /// idleness overlapping the next job's fetch is counted as stall.
+    idle_since: Option<SimTime>,
     finish: Option<SimTime>,
 }
 
@@ -179,22 +225,13 @@ impl SimWorld {
         self.arm_link(ctx, link);
     }
 
-    /// A slave asks its master for work (after optionally reporting a
-    /// completed job). Mirrors `master_loop` + `slave_loop` of the runtime:
-    /// the kill schedule is consulted at the job boundary, exactly where the
-    /// real slave checks it, so a killed slave's counted work is identical in
-    /// both worlds. Parks the slave; [`SimWorld::settle`] hands out jobs.
-    fn slave_request(
-        &mut self,
-        ctx: &mut Ctx<'_, Ev>,
-        c: usize,
-        s: usize,
-        completed: Option<ChunkId>,
-    ) {
-        let loc = self.params.clusters[c].location;
-        if let Some(job) = completed {
-            self.pool.complete(loc, job);
-        }
+    /// A slave reaches a job boundary (boot, or a completed job already
+    /// reported to the pool). Mirrors the runtime's fold loop: the kill
+    /// schedule is consulted here, exactly where the real slave checks it,
+    /// so a killed slave's counted work is identical in both worlds. A
+    /// surviving slave starts its next ready job (if any) and parks for
+    /// more leases; [`SimWorld::settle`] hands out jobs.
+    fn job_boundary(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, s: usize) {
         let jobs_done = self.clusters[c].slaves[s].jobs;
         let killed = self
             .params
@@ -207,18 +244,148 @@ impl SimWorld {
             self.retire_slave(ctx, c, s);
             return;
         }
-        self.clusters[c].waiting.push_back(s);
+        self.maybe_start_proc(ctx, c, s);
+        self.park_if_hungry(c, s);
     }
 
-    /// Take slave `s` out of service permanently (fail-stop or too many
-    /// consecutive fetch failures). Its partial reduction object survives as
-    /// a checkpoint, so nothing else needs saving — the GR recovery model.
-    fn retire_slave(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, s: usize) {
-        let st = &mut self.clusters[c].slaves[s];
-        if st.finish.is_none() {
-            st.finish = Some(ctx.now());
-            self.clusters[c].finished_slaves += 1;
+    /// Park `s` in its cluster's waiting queue if it can take another lease:
+    /// alive, not already parked, and holding fewer than `1 + prefetch_depth`
+    /// leases (the pipeline capacity).
+    fn park_if_hungry(&mut self, c: usize, s: usize) {
+        let capacity = 1 + self.params.prefetch_depth;
+        let cl = &mut self.clusters[c];
+        {
+            let st = &mut cl.slaves[s];
+            if st.retiring || st.finish.is_some() || st.parked || st.leases >= capacity {
+                return;
+            }
+            st.parked = true;
         }
+        cl.waiting.push_back(s);
+    }
+
+    /// Start the next queued fetch on `s`'s serial background fetcher.
+    fn maybe_start_fetch(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, s: usize) {
+        let qf = {
+            let st = &mut self.clusters[c].slaves[s];
+            if st.fetch_busy {
+                return;
+            }
+            let Some(qf) = st.fetch_queue.pop_front() else {
+                return;
+            };
+            st.fetch_busy = true;
+            qf
+        };
+        let loc = self.params.clusters[c].location;
+        let home = self
+            .params
+            .placement
+            .home(self.params.layout.chunk(qf.job).file);
+        let path = self.params.path(loc, home);
+        let latency = if qf.seq {
+            path.latency
+        } else {
+            path.latency * self.params.nonseq_latency_mult
+        };
+        ctx.schedule_after(
+            latency,
+            Ev::FetchBegin {
+                c,
+                s,
+                job: qf.job,
+                stolen: qf.stolen,
+                seq: qf.seq,
+            },
+        );
+    }
+
+    /// Feed the next ready job to `s`'s compute unit, charging the portion
+    /// of its idle wait that overlapped the job's fetch as stall (the
+    /// runtime counts exactly the recv blocks that end in fetched data;
+    /// waits for a master grant are sync, not stall).
+    fn maybe_start_proc(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, s: usize) {
+        let ready = {
+            let st = &mut self.clusters[c].slaves[s];
+            if st.proc_busy {
+                return;
+            }
+            match st.ready.pop_front() {
+                Some(r) => r,
+                None => return,
+            }
+        };
+        let now = ctx.now();
+        let jitter = {
+            let cv = self.params.clusters[c].jitter_cv;
+            self.clusters[c].rngs[s].jitter(cv)
+        };
+        let units = self.params.layout.chunk(ready.job).units;
+        let proc = self.params.clusters[c].proc_time(s, units, jitter);
+        {
+            let st = &mut self.clusters[c].slaves[s];
+            st.proc_busy = true;
+            let idle = st.idle_since.take().unwrap_or(SimTime::ZERO);
+            st.stall += now.saturating_since(idle.max(ready.started));
+            st.busy_proc += proc;
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(c, s, SpanKind::Process, now, now + proc);
+        }
+        ctx.schedule_after(
+            proc,
+            Ev::ProcessDone {
+                c,
+                s,
+                job: ready.job,
+            },
+        );
+    }
+
+    /// Take slave `s` out of service (fail-stop or too many consecutive
+    /// fetch failures). Its partial reduction object survives as a
+    /// checkpoint — the GR recovery model — but its prefetched leases must
+    /// go back: queued and ready jobs are returned uncharged
+    /// (`JobPool::release`; they were never attempted), and an in-flight
+    /// fetch is released when its flow completes, exactly as the runtime's
+    /// dying slave drains its fetch channel before reporting `Finished`.
+    /// The slave counts as finished only once its last lease is returned.
+    fn retire_slave(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, s: usize) {
+        {
+            let st = &mut self.clusters[c].slaves[s];
+            if st.retiring || st.finish.is_some() {
+                return;
+            }
+            st.retiring = true;
+        }
+        self.clusters[c].waiting.retain(|&x| x != s);
+        self.clusters[c].slaves[s].parked = false;
+        let loc = self.params.clusters[c].location;
+        let reclaimed: Vec<ChunkId> = {
+            let st = &mut self.clusters[c].slaves[s];
+            let queued = st.fetch_queue.drain(..).map(|q| q.job);
+            let ready = st.ready.drain(..).map(|r| r.job);
+            queued.chain(ready).collect()
+        };
+        for job in reclaimed {
+            self.clusters[c].slaves[s].leases -= 1;
+            self.pool.release(loc, job);
+        }
+        self.maybe_finish_retiring(ctx, c, s);
+    }
+
+    /// A retiring slave is finished once every lease it held is back in the
+    /// pool (an in-flight fetch or a mid-compute job keeps it alive until
+    /// the corresponding event lands).
+    fn maybe_finish_retiring(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, s: usize) {
+        {
+            let st = &mut self.clusters[c].slaves[s];
+            if !st.retiring || st.finish.is_some() || st.leases != 0 {
+                return;
+            }
+            st.finish = Some(ctx.now());
+        }
+        self.clusters[c].finished_slaves += 1;
         self.maybe_cluster_done(ctx, c);
     }
 
@@ -271,34 +438,28 @@ impl SimWorld {
         let rtt = self.params.clusters[c].rtt_to_head;
 
         loop {
-            // Serve waiting slaves from the master queue.
+            // Serve waiting slaves from the master queue. A lease joins the
+            // slave's fetch pipeline; a slave still under capacity re-parks
+            // at the back of the queue for its next prefetch lease.
             while !self.clusters[c].waiting.is_empty() {
                 let Some(job) = self.clusters[c].mp.take() else {
                     break;
                 };
                 let s = self.clusters[c].waiting.pop_front().expect("non-empty");
-                let home = self
-                    .params
-                    .placement
-                    .home(self.params.layout.chunk(job.chunk).file);
-                let path = self.params.path(loc, home);
                 let seq = self.clusters[c].expected_next == Some(job.chunk.0);
                 self.clusters[c].expected_next = Some(job.chunk.0 + 1);
-                let latency = if seq {
-                    path.latency
-                } else {
-                    path.latency * self.params.nonseq_latency_mult
-                };
-                ctx.schedule_after(
-                    latency,
-                    Ev::FetchBegin {
-                        c,
-                        s,
+                {
+                    let st = &mut self.clusters[c].slaves[s];
+                    st.parked = false;
+                    st.leases += 1;
+                    st.fetch_queue.push_back(QueuedFetch {
                         job: job.chunk,
                         stolen: job.stolen,
                         seq,
-                    },
-                );
+                    });
+                }
+                self.maybe_start_fetch(ctx, c, s);
+                self.park_if_hungry(c, s);
             }
             // Refill when low (and someone is or will be waiting).
             if self.clusters[c].mp.should_request() {
@@ -324,11 +485,14 @@ impl SimWorld {
             break;
         }
 
-        // Anyone still waiting with a finished pool is done for good.
+        // Anyone still waiting with a finished pool gets no more leases. A
+        // slave whose pipeline is empty is done for good; one still holding
+        // leases finishes at its last `ProcessDone`.
         if self.clusters[c].mp.finished() {
             while let Some(s) = self.clusters[c].waiting.pop_front() {
                 let st = &mut self.clusters[c].slaves[s];
-                if st.finish.is_none() {
+                st.parked = false;
+                if st.leases == 0 && st.finish.is_none() && !st.retiring {
                     st.finish = Some(ctx.now());
                     self.clusters[c].finished_slaves += 1;
                 }
@@ -364,7 +528,7 @@ impl World for SimWorld {
             Ev::Boot => {
                 for c in 0..self.clusters.len() {
                     for s in 0..self.clusters[c].slaves.len() {
-                        self.slave_request(ctx, c, s, None);
+                        self.job_boundary(ctx, c, s);
                     }
                 }
             }
@@ -442,6 +606,20 @@ impl World for SimWorld {
                         } => {
                             let chunk = *self.params.layout.chunk(job);
                             self.active_per_file[chunk.file.0 as usize] -= 1;
+                            let loc = self.params.clusters[c].location;
+                            self.clusters[c].slaves[s].fetch_busy = false;
+                            if self.clusters[c].slaves[s].retiring {
+                                // An in-flight fetch of a retiring slave:
+                                // the lease goes back uncharged and the
+                                // fetch is not accounted, mirroring the
+                                // runtime's drain-and-reclaim (no RNG
+                                // draws either, so fault streams stay
+                                // aligned between worlds).
+                                self.clusters[c].slaves[s].leases -= 1;
+                                self.pool.release(loc, job);
+                                self.maybe_finish_retiring(ctx, c, s);
+                                continue;
+                            }
                             // A fetch fault surfaces only after transport —
                             // the simulated analogue of the retriever
                             // exhausting its retries against a flaky store.
@@ -457,17 +635,27 @@ impl World for SimWorld {
                             }
                             if failed {
                                 self.recovery.fetch_failures += 1;
+                                let now = ctx.now();
                                 let st = &mut self.clusters[c].slaves[s];
                                 st.consecutive_failures += 1;
+                                st.leases -= 1;
+                                if !st.proc_busy {
+                                    // The compute side was already waiting
+                                    // on this fetch; the wasted wait is a
+                                    // stall, as in the runtime.
+                                    let idle = st.idle_since.take().unwrap_or(SimTime::ZERO);
+                                    st.stall += now.saturating_since(idle.max(started));
+                                    st.idle_since = Some(now);
+                                }
                                 let retire = st.consecutive_failures
                                     >= self.params.faults.slave_failure_threshold;
-                                let loc = self.params.clusters[c].location;
                                 self.pool.fail(loc, job);
                                 if retire {
                                     self.recovery.slaves_retired += 1;
                                     self.retire_slave(ctx, c, s);
                                 } else {
-                                    self.clusters[c].waiting.push_back(s);
+                                    self.maybe_start_fetch(ctx, c, s);
+                                    self.park_if_hungry(c, s);
                                 }
                                 continue;
                             }
@@ -478,16 +666,9 @@ impl World for SimWorld {
                             } else {
                                 st.bytes_local += chunk.len;
                             }
-                            let jitter = {
-                                let cv = self.params.clusters[c].jitter_cv;
-                                self.clusters[c].rngs[s].jitter(cv)
-                            };
-                            let proc = self.params.clusters[c].proc_time(s, chunk.units, jitter);
-                            self.clusters[c].slaves[s].busy_proc += proc;
-                            if let Some(tr) = self.trace.as_mut() {
-                                tr.record(c, s, SpanKind::Process, ctx.now(), ctx.now() + proc);
-                            }
-                            ctx.schedule_after(proc, Ev::ProcessDone { c, s, job });
+                            st.ready.push_back(ReadyJob { job, started });
+                            self.maybe_start_fetch(ctx, c, s);
+                            self.maybe_start_proc(ctx, c, s);
                         }
                         FlowTarget::RobjDelivered { c } => {
                             self.handle_robj_arrive(ctx, c);
@@ -505,8 +686,20 @@ impl World for SimWorld {
                     if home != self.params.clusters[c].location {
                         st.stolen_jobs += 1;
                     }
+                    st.proc_busy = false;
+                    st.leases -= 1;
+                    st.idle_since = Some(ctx.now());
                 }
-                self.slave_request(ctx, c, s, Some(job));
+                let loc = self.params.clusters[c].location;
+                self.pool.complete(loc, job);
+                if self.clusters[c].slaves[s].retiring {
+                    // Retired mid-compute (failure-threshold retire while
+                    // this job was in flight): the completed work still
+                    // counts, but no new boundary is taken.
+                    self.maybe_finish_retiring(ctx, c, s);
+                } else {
+                    self.job_boundary(ctx, c, s);
+                }
             }
             Ev::RobjSend { c } => {
                 self.last_local_done = self.last_local_done.max(ctx.now());
@@ -591,6 +784,13 @@ fn simulate_inner(
             .map(|s| s.busy_fetch.as_secs_f64())
             .sum::<f64>()
             / n;
+        let stall_s: f64 = c.slaves.iter().map(|s| s.stall.as_secs_f64()).sum::<f64>() / n;
+        let overlap_s: f64 = c
+            .slaves
+            .iter()
+            .map(|s| (s.busy_fetch.as_secs_f64() - s.stall.as_secs_f64()).max(0.0))
+            .sum::<f64>()
+            / n;
         let local_done = c.local_done.unwrap_or(world.final_done.unwrap_or(end));
         let wall_s = local_done.as_secs_f64();
         clusters.push(ClusterBreakdown {
@@ -605,6 +805,8 @@ fn simulate_inner(
             jobs_stolen: c.slaves.iter().map(|s| s.stolen_jobs).sum(),
             bytes_local: c.slaves.iter().map(|s| s.bytes_local).sum(),
             bytes_remote: c.slaves.iter().map(|s| s.bytes_remote).sum(),
+            overlap_saved_s: overlap_s,
+            fetch_stall_s: stall_s,
         });
     }
     let report = RunReport {
@@ -620,6 +822,8 @@ fn simulate_inner(
             jobs_reenqueued: world.pool.reenqueued(),
             ..world.recovery
         },
+        cache_hits: 0,
+        cache_misses: 0,
     };
     Ok((report, world.trace))
 }
@@ -706,6 +910,7 @@ mod tests {
             paths,
             pool: PoolConfig::default(),
             master_low_water: 2,
+            prefetch_depth: 0,
             robj_bytes: 64 * 1024,
             merge_bps: 1.0e9,
             global_reduction_base: SimDur::from_millis(50),
@@ -954,6 +1159,133 @@ mod tests {
             err.contains("unfinished jobs"),
             "total loss must surface, got: {err}"
         );
+    }
+
+    /// One cluster, all data local, fetch and compute deliberately of the
+    /// same order (~5 ms each), no link contention: the ideal testbed for
+    /// overlap, where perfect pipelining approaches a 2x speedup.
+    fn balanced_params(prefetch_depth: usize) -> SimParams {
+        // 4 files × 4 chunks of 256 KiB, 4096 units each.
+        let layout = organize_even(4, 1 << 20, 1 << 18, 64).unwrap();
+        let placement = Placement::all_at(4, L);
+        let links = vec![LinkSpec {
+            name: "disk".into(),
+            bps: 1.0e9, // 4 cores × 50 MB/s: never the bottleneck
+        }];
+        let mut paths = BTreeMap::new();
+        paths.insert(
+            (L, L),
+            PathSpec {
+                link: 0,
+                latency: SimDur::from_micros(200),
+                per_conn_bps: 50.0e6, // 256 KiB ≈ 5.2 ms per fetch
+                streams: 1,
+            },
+        );
+        SimParams {
+            layout,
+            placement,
+            clusters: vec![SimCluster::new("local", L, 4, 1300.0)], // ≈5.3 ms/job
+            links,
+            paths,
+            pool: PoolConfig::default(),
+            master_low_water: 2,
+            prefetch_depth,
+            robj_bytes: 1024,
+            merge_bps: 1.0e9,
+            global_reduction_base: SimDur::from_millis(1),
+            nonseq_latency_mult: 1.0,
+            nonseq_bw_factor: 1.0,
+            file_contention_bw_factor: 1.0,
+            seed: 7,
+            faults: crate::params::FaultPlan::default(),
+        }
+    }
+
+    #[test]
+    fn prefetch_overlaps_retrieval_with_compute() {
+        let serial = simulate(balanced_params(0)).unwrap();
+        let piped = simulate(balanced_params(1)).unwrap();
+        assert_eq!(serial.total_jobs(), piped.total_jobs());
+        let speedup = serial.total_s / piped.total_s;
+        assert!(
+            speedup >= 1.3,
+            "double-buffering a balanced workload must hide most retrieval: {speedup:.3}x"
+        );
+        // Serial slaves hide nothing: every fetch second is a stall.
+        let s = serial.cluster("local").unwrap();
+        assert!((s.fetch_stall_s - s.retrieval_s).abs() < 1e-9);
+        assert_eq!(s.overlap_saved_s, 0.0);
+        // Pipelined slaves hide most of it.
+        let p = piped.cluster("local").unwrap();
+        assert!(
+            p.overlap_saved_s > 0.5 * p.retrieval_s,
+            "most retrieval should hide behind compute: {} of {}",
+            p.overlap_saved_s,
+            p.retrieval_s
+        );
+        assert!(p.fetch_stall_s < s.fetch_stall_s);
+        // The accounting identity stall + overlap = retrieval holds.
+        assert!((p.fetch_stall_s + p.overlap_saved_s - p.retrieval_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_prefetch_never_loses_work_and_never_slows_the_balanced_run() {
+        let serial = simulate(balanced_params(0)).unwrap();
+        for depth in [1, 2, 4] {
+            let r = simulate(balanced_params(depth)).unwrap();
+            assert_eq!(r.total_jobs(), serial.total_jobs(), "depth {depth}");
+            let moved = |rep: &cloudburst_core::report::RunReport| -> u64 {
+                rep.clusters
+                    .iter()
+                    .map(|c| c.bytes_local + c.bytes_remote)
+                    .sum()
+            };
+            assert_eq!(moved(&r), moved(&serial), "depth {depth}");
+            assert!(
+                r.total_s <= serial.total_s + 1e-9,
+                "depth {depth} slower than serial: {} vs {}",
+                r.total_s,
+                serial.total_s
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_survives_kills_and_fetch_faults_exactly_once() {
+        let mk = || {
+            let mut p = params(0.5);
+            p.prefetch_depth = 2;
+            p.faults.fetch_failure_prob = 0.1;
+            p.faults.slave_failure_threshold = 10;
+            p.faults.kill_schedule = vec![
+                SlaveKill {
+                    cluster: 1,
+                    slave: 0,
+                    after_jobs: 1,
+                },
+                SlaveKill {
+                    cluster: 0,
+                    slave: 2,
+                    after_jobs: 2,
+                },
+            ];
+            p
+        };
+        let n_jobs = mk().layout.n_jobs() as u64;
+        let a = simulate(mk()).unwrap();
+        assert_eq!(
+            a.total_jobs(),
+            n_jobs,
+            "reclaimed prefetched leases must be re-run elsewhere"
+        );
+        assert_eq!(a.recovery.slaves_killed, 2);
+        assert!(
+            a.recovery.jobs_reenqueued > 0,
+            "kills mid-pipeline must hand leases back"
+        );
+        let b = simulate(mk()).unwrap();
+        assert_eq!(a, b, "faulty pipelined runs stay deterministic");
     }
 
     #[test]

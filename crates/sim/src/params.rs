@@ -167,6 +167,12 @@ pub struct SimParams {
     pub pool: PoolConfig,
     /// Master refill low-water mark.
     pub master_low_water: usize,
+    /// Jobs a slave prefetches ahead of the one it is processing (mirror of
+    /// `RuntimeConfig::prefetch_depth`): with depth `d` a slave holds up to
+    /// `1 + d` leases, its serial background fetch pipeline overlapping the
+    /// compute of the job in hand. `0` models the paper's strictly serial
+    /// fetch-then-process slave.
+    pub prefetch_depth: usize,
     /// Reduction-object wire size.
     pub robj_bytes: u64,
     /// Merge throughput for combining reduction objects (bytes/sec of robj
@@ -315,6 +321,7 @@ mod tests {
             paths,
             pool: PoolConfig::default(),
             master_low_water: 1,
+            prefetch_depth: 0,
             robj_bytes: 1024,
             merge_bps: 1e9,
             global_reduction_base: SimDur::from_millis(50),

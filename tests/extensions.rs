@@ -187,15 +187,14 @@ fn heterogeneous_clusters_balance_by_demand() {
     );
     let app = KMeansApp::new(spec.dim, 2);
     let params = Centroids::new(spec.dim, vec![0.2; spec.dim * 2]);
-    let out = run(
-        &app,
-        &params,
-        &layout,
-        &placement,
-        &deployment,
-        &RuntimeConfig::default(),
-    )
-    .unwrap();
+    // Serial slaves: a prefetch lease per slow slave would buffer extra
+    // jobs behind slow compute, blunting the demand signal this tiny
+    // workload is measuring.
+    let cfg = RuntimeConfig {
+        prefetch_depth: 0,
+        ..Default::default()
+    };
+    let out = run(&app, &params, &layout, &placement, &deployment, &cfg).unwrap();
 
     let fast = out.report.cluster("fast").unwrap();
     let slow = out.report.cluster("slow").unwrap();
