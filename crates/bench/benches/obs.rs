@@ -1,0 +1,110 @@
+//! Observability overhead: the no-subscriber fast path.
+//!
+//! The contract (docs/OBSERVABILITY.md) is that a disabled
+//! [`SinkHandle`] costs one `Option` branch per emission point — cheap
+//! enough to leave the hooks compiled into every hot loop. This bench
+//! measures an emission-heavy workload with the sink disabled against the
+//! same workload with no emit calls at all, and *asserts* the relative
+//! overhead stays under 2% (with an absolute floor: sub-nanosecond
+//! per-emit deltas pass regardless, since at that scale the measurement is
+//! dominated by noise). A third case records every event, to show what a
+//! live subscriber costs for comparison.
+//!
+//! [`SinkHandle`]: cloudburst_core::obs::SinkHandle
+
+use cloudburst_core::obs::{EventKind, RecordingSink, SinkHandle};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The workload each variant folds: enough arithmetic per "job" that the
+/// ratio reflects a realistic emission density (one emit per job), not an
+/// empty loop.
+const JOBS: u64 = 20_000;
+
+fn fold_job(i: u64) -> u64 {
+    // A serial multiply-add chain (~250 dependent ops), standing in for
+    // decode + local_reduce of a chunk — still far *lighter* than a real
+    // job, so the measured emit ratio is a conservative upper bound.
+    let mut acc = i | 1;
+    for k in 0..250 {
+        acc = black_box(acc)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(k);
+    }
+    acc
+}
+
+fn workload(sink: Option<&SinkHandle>) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..JOBS {
+        acc ^= fold_job(black_box(i));
+        if let Some(s) = sink {
+            s.emit(
+                Some(0),
+                Some(0),
+                EventKind::ProcessEnd {
+                    chunk: i,
+                    units: 64,
+                    ns: acc & 0xffff,
+                    stolen: false,
+                },
+            );
+        }
+    }
+    acc
+}
+
+/// Time `f` over `reps` repetitions, best-of-3 to shed scheduler noise.
+fn time_it<F: FnMut() -> u64>(mut f: F, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let mut sink = 0u64;
+        for _ in 0..reps {
+            sink ^= f();
+        }
+        black_box(sink);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_emit_per_job");
+    g.bench_function("no_hooks", |b| b.iter(|| workload(None)));
+    let disabled = SinkHandle::disabled();
+    g.bench_function("sink_disabled", |b| b.iter(|| workload(Some(&disabled))));
+    let rec = RecordingSink::new();
+    let live = SinkHandle::new(Arc::clone(&rec) as _);
+    g.bench_function("sink_recording", |b| {
+        b.iter(|| {
+            let acc = workload(Some(&live));
+            rec.take();
+            acc
+        })
+    });
+    g.finish();
+
+    // The hard gate: disabled-sink overhead < 2% of the baseline, or below
+    // an absolute floor of 1ns per emission (where the delta is noise).
+    let base = time_it(|| workload(None), 5);
+    let gated = time_it(|| workload(Some(&disabled)), 5);
+    let overhead = (gated - base) / base;
+    let per_emit_ns = (gated - base) / (5.0 * JOBS as f64) * 1e9;
+    println!(
+        "disabled-sink overhead: {:.2}% ({:.3} ns/emit)",
+        overhead * 100.0,
+        per_emit_ns
+    );
+    assert!(
+        overhead < 0.02 || per_emit_ns < 1.0,
+        "no-subscriber fast path too slow: {:.2}% overhead, {:.3} ns/emit",
+        overhead * 100.0,
+        per_emit_ns
+    );
+}
+
+criterion_group!(benches, bench_emit);
+criterion_main!(benches);

@@ -20,6 +20,7 @@ use cb_storage::store::{DiskStore, ObjectStore};
 use cloudburst_core::api::{GRApp, ReductionObject};
 use cloudburst_core::config::RuntimeConfig;
 use cloudburst_core::deploy::{ClusterSpec, DataFabric, Deployment};
+use cloudburst_core::obs::{self, EventKind, RecordingSink, SinkHandle};
 use cloudburst_core::runtime::run as run_gr;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -28,7 +29,8 @@ use std::sync::Arc;
 pub const USAGE: &str = "cloudburst run --app wordcount|knn|selection|pagerank \
 --index <file> --data <dir> [--data2 <dir>] [--frac-local <0..1>] [--cores <n>] \
 [--cores2 <n>] [--dim <d>] [--k <n>] [--passes <n>] [--fault-rate <0..1>] \
-[--kill-slave <cluster:slave:after_jobs>[,..]] [--prefetch-depth <n>]";
+[--kill-slave <cluster:slave:after_jobs>[,..]] [--prefetch-depth <n>] \
+[--trace-out <trace.jsonl>] [--timeline true]";
 
 /// Parse a `--kill-slave` list: `cluster:slave:after_jobs`, comma-separated.
 pub(crate) fn parse_kill_schedule(
@@ -69,6 +71,8 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         "fault-rate",
         "kill-slave",
         "prefetch-depth",
+        "trace-out",
+        "timeline",
     ])?;
     let app_name = args.require("app")?;
     let index_path = args.require("index")?;
@@ -101,6 +105,21 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
     };
     let mut deployment = Deployment::new(clusters, DataFabric::direct(&stores));
 
+    // Tracing: a recording sink captures the run's event stream, written as
+    // JSONL (`--trace-out`) and/or rendered as a live Gantt (`--timeline`).
+    // Built before fault wiring so injected faults are observed too.
+    let trace_out = args.get("trace-out").map(str::to_owned);
+    let timeline: bool = args.get_or("timeline", false)?;
+    let recorder = if trace_out.is_some() || timeline {
+        Some(RecordingSink::new())
+    } else {
+        None
+    };
+    let sink = match &recorder {
+        Some(rec) => SinkHandle::new(Arc::clone(rec) as _),
+        None => SinkHandle::disabled(),
+    };
+
     // Fault injection: drop a fraction of GETs on every path, so the
     // retry/re-enqueue machinery is exercised against real disk stores.
     let fault_rate: f64 = args.get_or("fault-rate", 0.0)?;
@@ -111,18 +130,26 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         use cb_storage::faults::{FaultMode, FlakyStore};
         for &site in stores.keys() {
             deployment.fabric.wrap_paths_to(site, |s| {
-                Arc::new(FlakyStore::new(
+                let mut flaky = FlakyStore::new(
                     s,
                     FaultMode::Random {
                         probability: fault_rate,
                     },
                     2011,
-                ))
+                );
+                if sink.is_enabled() {
+                    let sink = sink.clone();
+                    flaky = flaky.with_observer(Arc::new(move || {
+                        sink.emit(None, None, EventKind::FaultInjected);
+                    }));
+                }
+                Arc::new(flaky)
             });
         }
     }
 
     let mut cfg = RuntimeConfig::default();
+    cfg.sink = sink;
     cfg.prefetch_depth = args.get_or("prefetch-depth", cfg.prefetch_depth)?;
     if let Some(spec) = args.get("kill-slave") {
         cfg.kill_schedule = parse_kill_schedule(spec)?;
@@ -235,6 +262,20 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
             return Err(CmdError::Other(format!(
                 "unknown --app {other:?}; expected wordcount, knn, selection, or pagerank"
             )))
+        }
+    }
+    if let Some(rec) = recorder {
+        let events = rec.take();
+        if timeline {
+            let _ = write!(
+                s,
+                "{}",
+                obs::Timeline::from_events(&events).render_gantt(100)
+            );
+        }
+        if let Some(path) = trace_out {
+            std::fs::write(&path, obs::encode_jsonl(&events))?;
+            let _ = writeln!(s, "trace: {} events -> {path}", events.len());
         }
     }
     Ok(s)

@@ -5,7 +5,9 @@
 use super::CmdError;
 use crate::args::Args;
 use cb_sim::calib::{self, App, NetConstants};
-use cb_sim::model::{simulate, simulate_traced};
+use cb_sim::model::{simulate, simulate_observed, simulate_traced};
+use cb_sim::params::SimParams;
+use cloudburst_core::obs;
 use serde::Deserialize;
 use std::fmt::Write as _;
 
@@ -13,7 +15,34 @@ pub const USAGE: &str = "cloudburst simulate --app knn|kmeans|pagerank \
 [--env local|cloud|50/50|33/67|17/83] [--seed <n>] [--timeline true] \
 [--wan-mult <x>] [--fault-rate <0..1>] \
 [--kill-slave <cluster:slave:after_jobs>[,..]] [--prefetch-depth <n>] \
-| --config <scenario.json>";
+[--trace-out <trace.jsonl>] | --config <scenario.json>";
+
+/// Run `params`, rendering the report plus (optionally) a Gantt timeline
+/// and a JSONL event trace — the same knobs `run` has, on virtual time.
+fn render_sim(
+    params: SimParams,
+    timeline: bool,
+    trace_out: Option<&str>,
+) -> Result<String, CmdError> {
+    let mut s = String::new();
+    if let Some(path) = trace_out {
+        let (report, trace, events) = simulate_observed(params).map_err(CmdError::Other)?;
+        let _ = write!(s, "{}", report.render());
+        if timeline {
+            let _ = write!(s, "{}", trace.render_gantt(100));
+        }
+        std::fs::write(path, obs::encode_jsonl(&events))?;
+        let _ = writeln!(s, "trace: {} events -> {path}", events.len());
+    } else if timeline {
+        let (report, trace) = simulate_traced(params).map_err(CmdError::Other)?;
+        let _ = write!(s, "{}", report.render());
+        let _ = write!(s, "{}", trace.render_gantt(100));
+    } else {
+        let report = simulate(params).map_err(CmdError::Other)?;
+        let _ = write!(s, "{}", report.render());
+    }
+    Ok(s)
+}
 
 /// A custom scenario file: every field optional except `app`.
 ///
@@ -69,7 +98,7 @@ fn default_mult() -> f64 {
 }
 
 /// Run a scenario file.
-fn run_config(path: &str) -> Result<String, CmdError> {
+fn run_config(path: &str, trace_out: Option<&str>) -> Result<String, CmdError> {
     let text = std::fs::read_to_string(path)?;
     let sc: Scenario =
         serde_json::from_str(&text).map_err(|e| CmdError::Other(format!("{path}: {e}")))?;
@@ -116,14 +145,7 @@ fn run_config(path: &str) -> Result<String, CmdError> {
         env.cloud_cores,
         sc.wan_multiplier
     );
-    if sc.timeline {
-        let (report, trace) = simulate_traced(params).map_err(CmdError::Other)?;
-        let _ = write!(s, "{}", report.render());
-        let _ = write!(s, "{}", trace.render_gantt(100));
-    } else {
-        let report = simulate(params).map_err(CmdError::Other)?;
-        let _ = write!(s, "{}", report.render());
-    }
+    let _ = write!(s, "{}", render_sim(params, sc.timeline, trace_out)?);
     Ok(s)
 }
 
@@ -149,9 +171,10 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         "fault-rate",
         "kill-slave",
         "prefetch-depth",
+        "trace-out",
     ])?;
     if let Some(path) = args.get("config") {
-        return run_config(path);
+        return run_config(path, args.get("trace-out"));
     }
     let app = parse_app(args.require("app")?)?;
     let env_name = args.get("env").unwrap_or("50/50");
@@ -194,13 +217,10 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         env.local_cores,
         env.cloud_cores
     );
-    if timeline {
-        let (report, trace) = simulate_traced(params).map_err(CmdError::Other)?;
-        let _ = write!(s, "{}", report.render());
-        let _ = write!(s, "{}", trace.render_gantt(100));
-    } else {
-        let report = simulate(params).map_err(CmdError::Other)?;
-        let _ = write!(s, "{}", report.render());
-    }
+    let _ = write!(
+        s,
+        "{}",
+        render_sim(params, timeline, args.get("trace-out"))?
+    );
     Ok(s)
 }

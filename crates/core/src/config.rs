@@ -71,6 +71,10 @@ pub struct RuntimeConfig {
     /// passes after the first hit memory instead of the wire. `0` disables
     /// caching. Single-pass [`crate::runtime::run`] ignores this knob.
     pub cache_bytes: usize,
+    /// Observability sink: every scheduling / retrieval / reduction event
+    /// is emitted here (see [`crate::obs`]). The default is a disabled
+    /// handle — one branch per emission site, nothing recorded.
+    pub sink: crate::obs::SinkHandle,
 }
 
 impl Default for RuntimeConfig {
@@ -88,6 +92,7 @@ impl Default for RuntimeConfig {
             kill_schedule: Vec::new(),
             prefetch_depth: 1,
             cache_bytes: 0,
+            sink: crate::obs::SinkHandle::disabled(),
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::api::GRApp;
 use crate::config::RuntimeConfig;
 use crate::deploy::Deployment;
+use crate::obs::{EventKind, SinkHandle};
 use crate::report::RunReport;
 use crate::runtime::{run, RuntimeError};
 use cb_storage::cache::CachedStore;
@@ -52,13 +53,28 @@ impl<P> IterativeOutcome<P> {
 fn cached_deployment(
     deployment: &Deployment,
     capacity_bytes: usize,
+    sink: &SinkHandle,
 ) -> (Deployment, Vec<Arc<CachedStore>>) {
     let mut d = deployment.clone();
     let sites: BTreeSet<LocationId> = d.fabric.paths().map(|(_, to, _)| to).collect();
     let mut caches = Vec::new();
     for site in sites {
         d.fabric.wrap_paths_to(site, |inner| {
-            let cache = Arc::new(CachedStore::new(inner, capacity_bytes));
+            let mut store = CachedStore::new(inner, capacity_bytes);
+            if sink.is_enabled() {
+                // Observed at the same points the hit/miss counters
+                // increment, so event counts equal the report's cache stats.
+                let sink = sink.clone();
+                store = store.with_observer(Arc::new(move |hit, bytes| {
+                    let kind = if hit {
+                        EventKind::CacheHit { bytes }
+                    } else {
+                        EventKind::CacheMiss { bytes }
+                    };
+                    sink.emit(None, None, kind);
+                }));
+            }
+            let cache = Arc::new(store);
             caches.push(Arc::clone(&cache));
             cache
         });
@@ -93,7 +109,7 @@ where
 {
     assert!(max_iterations > 0, "max_iterations must be >= 1");
     let (cached, caches) = if cfg.cache_bytes > 0 {
-        let (d, caches) = cached_deployment(deployment, cfg.cache_bytes);
+        let (d, caches) = cached_deployment(deployment, cfg.cache_bytes, &cfg.sink);
         (Some(d), caches)
     } else {
         (None, Vec::new())
@@ -103,6 +119,8 @@ where
     let mut params = initial;
     let mut reports = Vec::new();
     for iter in 0..max_iterations {
+        cfg.sink
+            .emit(None, None, EventKind::PassBoundary { pass: iter as u64 });
         let mut out = run(app, &params, layout, placement, deployment, cfg)?;
         let hits: u64 = caches.iter().map(|c| c.hits()).sum();
         let misses: u64 = caches.iter().map(|c| c.misses()).sum();

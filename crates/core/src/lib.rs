@@ -49,6 +49,7 @@ pub mod combine;
 pub mod config;
 pub mod deploy;
 pub mod iterate;
+pub mod obs;
 pub mod report;
 pub mod runtime;
 pub mod sched;
@@ -57,5 +58,6 @@ pub use api::{run_sequential, GRApp, ReductionObject};
 pub use config::RuntimeConfig;
 pub use deploy::{ClusterSpec, DataFabric, Deployment};
 pub use iterate::{run_iterative, IterativeOutcome, Step};
+pub use obs::{EventKind, EventRecord, EventSink, RecordingSink, SinkHandle};
 pub use report::{ClusterBreakdown, RunReport};
 pub use runtime::{run, RunOutcome, RuntimeError};

@@ -5,6 +5,13 @@
 //! retrieval*, and *sync* time (the stacked bars of Figs. 3–4), plus the
 //! Table I job counters and the Table II global-reduction / idle / slowdown
 //! decomposition.
+//!
+//! When a run is traced (a [`SinkHandle`](crate::obs::SinkHandle) is
+//! installed), every counter and duration here is a *derived view* of the
+//! event stream: the emission points pass the same measured values that
+//! feed these aggregates, and
+//! [`TraceSummary::reconcile`](crate::obs::TraceSummary::reconcile) checks
+//! the two presentations agree. See `docs/OBSERVABILITY.md`.
 
 use serde::{Deserialize, Serialize};
 

@@ -49,6 +49,7 @@
 use crate::api::{GRApp, ReductionObject};
 use crate::config::RuntimeConfig;
 use crate::deploy::Deployment;
+use crate::obs::EventKind;
 use crate::report::{ClusterBreakdown, RecoveryStats, RunReport};
 use crate::sched::master::{MasterJob, MasterPool};
 use crate::sched::pool::JobPool;
@@ -195,6 +196,10 @@ enum Fetched {
         result: io::Result<Bytes>,
         fetch_time: Duration,
         remote: bool,
+        /// Whether a retrieval was actually begun (a `FetchStart` was
+        /// emitted). Shutdown-synthesized replies carry `false`, so the
+        /// drain loop knows not to emit a `FetchDiscarded` terminal.
+        started: bool,
     },
     /// The master answered "no more jobs" to one of our requests.
     NoMore,
@@ -270,7 +275,18 @@ pub fn run<A: GRApp>(
         }
     }
 
-    let head = Mutex::new(JobPool::new(layout, placement, cfg.pool.clone()));
+    // Location → cluster index, so head-side scheduling events carry the
+    // cluster id (earliest cluster wins if two share a location).
+    let cluster_of: std::collections::BTreeMap<LocationId, u32> = deployment
+        .clusters
+        .iter()
+        .enumerate()
+        .rev()
+        .map(|(i, c)| (c.location, i as u32))
+        .collect();
+    let head = Mutex::new(
+        JobPool::new(layout, placement, cfg.pool.clone()).with_sink(cfg.sink.clone(), cluster_of),
+    );
     let retry_counter = Arc::new(AtomicU64::new(0));
     let (result_tx, result_rx) = unbounded::<ClusterResult<A::RObj>>();
     let t0 = Instant::now();
@@ -488,7 +504,8 @@ fn master_loop<A: GRApp>(
 ) {
     let loc = cluster.location;
     let n_slaves = job_txs.len();
-    let mut pool = MasterPool::new(cfg.master_low_water);
+    let mut pool =
+        MasterPool::new(cfg.master_low_water).with_sink(cfg.sink.clone(), cluster_idx as u32);
     let mut stats: Vec<SlaveStats> = Vec::with_capacity(n_slaves);
     let mut robj_acc: Option<Box<A::RObj>> = None;
     let mut recovery = RecoveryStats::default();
@@ -587,8 +604,19 @@ fn master_loop<A: GRApp>(
 
     let local_done = Instant::now();
     // Ship the cluster's reduction object to the head through the WAN.
-    if let (Some(wan), Some(robj)) = (&cluster.wan_to_head, &robj_acc) {
-        wan.acquire(robj.size_bytes() as u64);
+    if let Some(robj) = &robj_acc {
+        let t_ship = Instant::now();
+        if let Some(wan) = &cluster.wan_to_head {
+            wan.acquire(robj.size_bytes() as u64);
+        }
+        cfg.sink.emit(
+            Some(cluster_idx as u32),
+            None,
+            EventKind::RobjMerge {
+                bytes: robj.size_bytes() as u64,
+                ns: t_ship.elapsed().as_nanos() as u64,
+            },
+        );
     }
     let _ = result_tx.send(ClusterResult {
         cluster: cluster_idx,
@@ -617,18 +645,36 @@ fn slave_loop<A: GRApp>(
     job_rx: Receiver<Option<MasterJob>>,
 ) {
     let my_loc = cluster.location;
+    let (ci, si) = (cluster_idx as u32, slave as u32);
     // Jitter-decorrelate retries across slaves while staying deterministic.
     let jitter_seed = ((cluster_idx as u64) << 32) ^ (slave as u64 + 1);
-    let remote_retriever = Retriever::new(cfg.retrieval_threads)
+    let mut remote_retriever = Retriever::new(cfg.retrieval_threads)
         .with_retries(cfg.retrieval_retries, cfg.retrieval_backoff)
         .with_deadline(cfg.retrieval_deadline)
         .with_jitter_seed(jitter_seed)
         .with_retry_counter(Arc::clone(&retry_counter));
-    let local_retriever = Retriever::sequential()
+    let mut local_retriever = Retriever::sequential()
         .with_retries(cfg.retrieval_retries, cfg.retrieval_backoff)
         .with_deadline(cfg.retrieval_deadline)
         .with_jitter_seed(jitter_seed)
         .with_retry_counter(Arc::clone(&retry_counter));
+    if cfg.sink.is_enabled() {
+        // The hook fires where the storage layer's retry counter
+        // increments, so `retry` events match `RecoveryStats::retries`.
+        let retry_hook = |sink: crate::obs::SinkHandle| -> cb_storage::retrieve::RetryHook {
+            Arc::new(move |attempt: u32| {
+                sink.emit(
+                    Some(ci),
+                    Some(si),
+                    EventKind::Retry {
+                        attempt: attempt as u64,
+                    },
+                )
+            })
+        };
+        remote_retriever = remote_retriever.with_retry_hook(retry_hook(cfg.sink.clone()));
+        local_retriever = local_retriever.with_retry_hook(retry_hook(cfg.sink.clone()));
+    }
     let compute_ns = cluster
         .compute_ns_per_unit
         .unwrap_or(cfg.synthetic_compute_ns_per_unit);
@@ -676,10 +722,18 @@ fn slave_loop<A: GRApp>(
                         )),
                         fetch_time: Duration::ZERO,
                         remote: false,
+                        started: false,
                     });
                     continue;
                 }
                 let _ = fetch_tx.send(Fetched::Started);
+                cfg.sink.emit(
+                    Some(ci),
+                    Some(si),
+                    EventKind::FetchStart {
+                        chunk: job.chunk.0 as u64,
+                    },
+                );
                 let chunk = layout.chunk(job.chunk);
                 let file = layout.file(chunk.file);
                 let home = placement.home(chunk.file);
@@ -699,6 +753,7 @@ fn slave_loop<A: GRApp>(
                     result,
                     fetch_time: t_r.elapsed(),
                     remote: home != my_loc,
+                    started: true,
                 });
                 if send.is_err() {
                     break;
@@ -769,11 +824,20 @@ fn slave_loop<A: GRApp>(
                     result,
                     fetch_time,
                     remote,
+                    ..
                 } => {
                     // Only waits that end in data count as fetch stall:
                     // `Started` precedes `Data` in channel order, so this
                     // block was spent waiting on the retrieval itself.
-                    stats.fetch_stall += t_wait.elapsed();
+                    let waited = t_wait.elapsed();
+                    stats.fetch_stall += waited;
+                    cfg.sink.emit(
+                        Some(ci),
+                        Some(si),
+                        EventKind::Stall {
+                            ns: waited.as_nanos() as u64,
+                        },
+                    );
                     outstanding -= 1;
                     stats.retrieval += fetch_time;
                     let chunk = layout.chunk(job.chunk);
@@ -785,6 +849,23 @@ fn slave_loop<A: GRApp>(
                             } else {
                                 stats.bytes_local += chunk.len;
                             }
+                            cfg.sink.emit(
+                                Some(ci),
+                                Some(si),
+                                EventKind::FetchEnd {
+                                    chunk: job.chunk.0 as u64,
+                                    bytes: chunk.len,
+                                    remote,
+                                    ns: fetch_time.as_nanos() as u64,
+                                },
+                            );
+                            cfg.sink.emit(
+                                Some(ci),
+                                Some(si),
+                                EventKind::ProcessStart {
+                                    chunk: job.chunk.0 as u64,
+                                },
+                            );
                             // Process: decode, then fold in cache-sized
                             // unit groups.
                             let t_p = Instant::now();
@@ -797,17 +878,36 @@ fn slave_loop<A: GRApp>(
                                     burn(Duration::from_nanos(compute_ns * group.len() as u64));
                                 }
                             }
-                            stats.processing += t_p.elapsed();
+                            let took = t_p.elapsed();
+                            stats.processing += took;
                             stats.jobs += 1;
                             stats.units += units.len() as u64;
                             if job.stolen {
                                 stats.stolen_jobs += 1;
                             }
+                            cfg.sink.emit(
+                                Some(ci),
+                                Some(si),
+                                EventKind::ProcessEnd {
+                                    chunk: job.chunk.0 as u64,
+                                    units: units.len() as u64,
+                                    ns: took.as_nanos() as u64,
+                                    stolen: job.stolen,
+                                },
+                            );
                             pending.push_back(JobOutcome::Completed(job.chunk));
                         }
                         Err(e) => {
                             // The job is NOT complete: report it failed so
                             // the head re-enqueues it, and keep pulling.
+                            cfg.sink.emit(
+                                Some(ci),
+                                Some(si),
+                                EventKind::FetchFailed {
+                                    chunk: job.chunk.0 as u64,
+                                    ns: fetch_time.as_nanos() as u64,
+                                },
+                            );
                             let file = layout.file(chunk.file);
                             let home = placement.home(chunk.file);
                             let store = deployment
@@ -845,15 +945,35 @@ fn slave_loop<A: GRApp>(
             match msg {
                 Fetched::Started => {}
                 Fetched::NoMore => outstanding -= 1,
-                Fetched::Data { job, .. } => {
+                Fetched::Data { job, started, .. } => {
                     // Fetched or not, the job was never folded: reclaim it
                     // immediately so another slave can process it.
                     outstanding -= 1;
+                    if started {
+                        // Close the fetch_start pairing for a retrieval
+                        // whose result is being thrown away.
+                        cfg.sink.emit(
+                            Some(ci),
+                            Some(si),
+                            EventKind::FetchDiscarded {
+                                chunk: job.chunk.0 as u64,
+                            },
+                        );
+                    }
                     let _ = to_master.send(ToMaster::Reclaim { chunk: job.chunk });
                 }
             }
         }
 
+        if let Some(r) = &retired {
+            cfg.sink.emit(
+                Some(ci),
+                Some(si),
+                EventKind::SlaveRetired {
+                    killed: matches!(r, RetireReason::Killed),
+                },
+            );
+        }
         // Even a retiring slave's partial reduction object merges: under
         // GR it is a valid checkpoint of the work it did complete.
         let _ = to_master.send(ToMaster::Finished {

@@ -8,6 +8,7 @@
 //! its driver when a refill request should be sent (queue at or below the
 //! low-water mark, no request already in flight, head not exhausted).
 
+use crate::obs::{EventKind, SinkHandle};
 use cb_storage::layout::ChunkId;
 use std::collections::VecDeque;
 
@@ -29,6 +30,10 @@ pub struct MasterPool {
     /// The head confirmed no more jobs will ever come for this cluster
     /// (see [`MasterPool::mark_exhausted`]).
     exhausted: bool,
+    /// Observability sink (disabled by default; see [`MasterPool::with_sink`]).
+    sink: SinkHandle,
+    /// Cluster index stamped on emitted events.
+    cluster: u32,
 }
 
 impl MasterPool {
@@ -38,7 +43,17 @@ impl MasterPool {
             low_water,
             request_in_flight: false,
             exhausted: false,
+            sink: SinkHandle::disabled(),
+            cluster: 0,
         }
+    }
+
+    /// Emit [`EventKind::MasterRefill`] to `sink` each time this master
+    /// sends a refill request to the head, tagged with `cluster`.
+    pub fn with_sink(mut self, sink: SinkHandle, cluster: u32) -> Self {
+        self.sink = sink;
+        self.cluster = cluster;
+        self
     }
 
     /// Jobs currently queued.
@@ -65,6 +80,13 @@ impl MasterPool {
     pub fn mark_requested(&mut self) {
         debug_assert!(!self.request_in_flight, "double refill request");
         self.request_in_flight = true;
+        self.sink.emit(
+            Some(self.cluster),
+            None,
+            EventKind::MasterRefill {
+                queue_len: self.queue.len() as u64,
+            },
+        );
     }
 
     /// Whether a refill request is currently outstanding. While true, an

@@ -16,6 +16,7 @@
 //! runtime and the discrete-event simulator drive the *identical* policy
 //! code, which is what makes the simulator's schedules trustworthy.
 
+use crate::obs::{EventKind, SinkHandle};
 use cb_storage::layout::{ChunkId, DatasetLayout, FileId, LocationId, Placement};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -149,6 +150,10 @@ pub struct JobPool {
     counters: BTreeMap<LocationId, LocationCounters>,
     /// Round-robin cursor per location for the non-consecutive ablation.
     rr_cursor: BTreeMap<LocationId, usize>,
+    /// Observability sink (disabled by default; see [`JobPool::with_sink`]).
+    sink: SinkHandle,
+    /// Maps a grantee's location to its cluster index for event tagging.
+    cluster_of: BTreeMap<LocationId, u32>,
 }
 
 impl JobPool {
@@ -182,7 +187,23 @@ impl JobPool {
             n_reenqueued: 0,
             counters: BTreeMap::new(),
             rr_cursor: BTreeMap::new(),
+            sink: SinkHandle::disabled(),
+            cluster_of: BTreeMap::new(),
         }
+    }
+
+    /// Emit scheduling events ([`EventKind::JobAssigned`],
+    /// [`EventKind::Steal`], [`EventKind::LeaseReleased`]) to `sink`.
+    /// `cluster_of` maps each grantee location to its cluster index so the
+    /// events carry cluster ids (the pool itself only sees locations).
+    pub fn with_sink(mut self, sink: SinkHandle, cluster_of: BTreeMap<LocationId, u32>) -> Self {
+        self.sink = sink;
+        self.cluster_of = cluster_of;
+        self
+    }
+
+    fn cluster_id(&self, loc: LocationId) -> Option<u32> {
+        self.cluster_of.get(&loc).copied()
     }
 
     /// Jobs not yet granted.
@@ -249,6 +270,19 @@ impl JobPool {
             let jobs = self.take_from(file, self.cfg.local_batch, loc);
             let entry = self.counters.entry(loc).or_default();
             entry.granted_local += jobs.len() as u64;
+            if self.sink.is_enabled() {
+                let cluster = self.cluster_id(loc);
+                for j in &jobs {
+                    self.sink.emit(
+                        cluster,
+                        None,
+                        EventKind::JobAssigned {
+                            chunk: j.0 as u64,
+                            stolen: false,
+                        },
+                    );
+                }
+            }
             return Grant {
                 jobs,
                 stolen: false,
@@ -260,6 +294,21 @@ impl JobPool {
                 let jobs = self.take_from(file, self.cfg.remote_batch, loc);
                 let entry = self.counters.entry(loc).or_default();
                 entry.granted_stolen += jobs.len() as u64;
+                if self.sink.is_enabled() {
+                    let cluster = self.cluster_id(loc);
+                    for j in &jobs {
+                        self.sink.emit(
+                            cluster,
+                            None,
+                            EventKind::JobAssigned {
+                                chunk: j.0 as u64,
+                                stolen: true,
+                            },
+                        );
+                        self.sink
+                            .emit(cluster, None, EventKind::Steal { chunk: j.0 as u64 });
+                    }
+                }
                 return Grant { jobs, stolen: true };
             }
         }
@@ -339,6 +388,17 @@ impl JobPool {
         q.insert(pos, job);
         self.n_pending += 1;
         self.n_reenqueued += 1;
+        // Emitted exactly where `n_reenqueued` increments (a job that dies
+        // instead of re-enqueueing emits nothing), so the event count equals
+        // `RecoveryStats::jobs_reenqueued`.
+        self.sink.emit(
+            self.cluster_id(loc),
+            None,
+            EventKind::LeaseReleased {
+                chunk: job.0 as u64,
+                charged: charge_budget,
+            },
+        );
     }
 
     /// Return every lease `loc` currently holds — the cluster (or its

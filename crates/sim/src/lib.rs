@@ -15,6 +15,6 @@ pub mod model;
 pub mod params;
 pub mod trace;
 
-pub use model::{simulate, simulate_traced};
+pub use model::{simulate, simulate_observed, simulate_traced};
 pub use params::{LinkSpec, PathSpec, SimCluster, SimParams};
 pub use trace::{Span, SpanKind, Trace};

@@ -27,10 +27,13 @@ use cb_simnet::link::FairShareLink;
 use cb_simnet::rng::DetRng;
 use cb_simnet::time::{SimDur, SimTime};
 use cb_storage::layout::ChunkId;
+use cloudburst_core::obs::{EventKind, EventRecord, RecordingSink, SinkHandle};
 use cloudburst_core::report::{ClusterBreakdown, RecoveryStats, RunReport};
 use cloudburst_core::sched::master::MasterPool;
 use cloudburst_core::sched::pool::JobPool;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Events of the simulation.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +115,8 @@ struct SlaveState {
     fetch_busy: bool,
     /// The compute unit is mid-job.
     proc_busy: bool,
+    /// Duration of the in-flight compute job, for the `process_end` event.
+    cur_proc_ns: u64,
     /// Retired (kill or failure threshold) but still draining leases.
     retiring: bool,
     /// Leased jobs whose fetch has not started yet.
@@ -154,11 +159,41 @@ struct SimWorld {
     recovery: RecoveryStats,
     /// Activity spans, when tracing is enabled.
     trace: Option<Trace>,
+    /// Observability sink; disabled unless [`simulate_observed`] is used.
+    /// Emits the same event kinds as the real runtime, stamped with
+    /// *virtual* time via `clock`.
+    sink: SinkHandle,
+    /// Virtual clock backing the sink: updated to `ctx.now()` at every
+    /// event-handler entry so emitted events carry simulated nanoseconds.
+    clock: Option<Arc<AtomicU64>>,
+    /// Buffer behind `sink`, drained into the run's event stream at the end.
+    recorder: Option<Arc<RecordingSink>>,
 }
 
 impl SimWorld {
-    fn new(params: SimParams, with_trace: bool) -> Self {
-        let pool = JobPool::new(&params.layout, &params.placement, params.pool.clone());
+    fn new(params: SimParams, with_trace: bool, observe: bool) -> Self {
+        let (sink, clock, recorder) = if observe {
+            let clock = Arc::new(AtomicU64::new(0));
+            let rec = RecordingSink::with_clock(Arc::clone(&clock));
+            (
+                SinkHandle::new(Arc::clone(&rec) as _),
+                Some(clock),
+                Some(rec),
+            )
+        } else {
+            (SinkHandle::disabled(), None, None)
+        };
+        // Location → cluster index for head-side event tagging (earliest
+        // cluster wins if two share a location), as in the runtime.
+        let cluster_of: std::collections::BTreeMap<_, _> = params
+            .clusters
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, c)| (c.location, i as u32))
+            .collect();
+        let pool = JobPool::new(&params.layout, &params.placement, params.pool.clone())
+            .with_sink(sink.clone(), cluster_of);
         let links = params
             .links
             .iter()
@@ -171,7 +206,7 @@ impl SimWorld {
             .iter()
             .enumerate()
             .map(|(ci, c)| ClusterState {
-                mp: MasterPool::new(params.master_low_water),
+                mp: MasterPool::new(params.master_low_water).with_sink(sink.clone(), ci as u32),
                 waiting: VecDeque::new(),
                 expected_next: None,
                 slaves: vec![SlaveState::default(); c.cores],
@@ -198,6 +233,9 @@ impl SimWorld {
             last_local_done: SimTime::ZERO,
             recovery: RecoveryStats::default(),
             trace: with_trace.then(Trace::default),
+            sink,
+            clock,
+            recorder,
         }
     }
 
@@ -241,6 +279,11 @@ impl SimWorld {
             .any(|k| k.cluster == c && k.slave == s && jobs_done >= k.after_jobs);
         if killed {
             self.recovery.slaves_killed += 1;
+            self.sink.emit(
+                Some(c as u32),
+                Some(s as u32),
+                EventKind::SlaveRetired { killed: true },
+            );
             self.retire_slave(ctx, c, s);
             return;
         }
@@ -277,6 +320,15 @@ impl SimWorld {
             st.fetch_busy = true;
             qf
         };
+        // The fetcher picks up the lease *now*; request latency and the
+        // transfer both count into the fetch, exactly as `busy_fetch` does.
+        self.sink.emit(
+            Some(c as u32),
+            Some(s as u32),
+            EventKind::FetchStart {
+                chunk: qf.job.0 as u64,
+            },
+        );
         let loc = self.params.clusters[c].location;
         let home = self
             .params
@@ -322,14 +374,34 @@ impl SimWorld {
         };
         let units = self.params.layout.chunk(ready.job).units;
         let proc = self.params.clusters[c].proc_time(s, units, jitter);
-        {
+        let stalled = {
             let st = &mut self.clusters[c].slaves[s];
             st.proc_busy = true;
             let idle = st.idle_since.take().unwrap_or(SimTime::ZERO);
-            st.stall += now.saturating_since(idle.max(ready.started));
+            let stalled = now.saturating_since(idle.max(ready.started));
+            st.stall += stalled;
             st.busy_proc += proc;
-        }
+            st.cur_proc_ns = proc.as_nanos();
+            stalled
+        };
+        self.sink.emit(
+            Some(c as u32),
+            Some(s as u32),
+            EventKind::Stall {
+                ns: stalled.as_nanos(),
+            },
+        );
+        self.sink.emit(
+            Some(c as u32),
+            Some(s as u32),
+            EventKind::ProcessStart {
+                chunk: ready.job.0 as u64,
+            },
+        );
         if let Some(tr) = self.trace.as_mut() {
+            if !stalled.is_zero() {
+                tr.record(c, s, SpanKind::Stall, now - stalled, now);
+            }
             tr.record(c, s, SpanKind::Process, now, now + proc);
         }
         ctx.schedule_after(
@@ -506,6 +578,18 @@ impl SimWorld {
         if let (Some(tr), Some(sent)) = (self.trace.as_mut(), self.clusters[c].robj_sent_at) {
             tr.record(c, 0, SpanKind::RobjTransfer, sent, ctx.now());
         }
+        let ship_ns = self.clusters[c]
+            .robj_sent_at
+            .map(|sent| ctx.now().saturating_since(sent).as_nanos())
+            .unwrap_or(0);
+        self.sink.emit(
+            Some(c as u32),
+            None,
+            EventKind::RobjMerge {
+                bytes: self.params.robj_bytes,
+                ns: ship_ns,
+            },
+        );
         self.clusters[c].robj_arrived = true;
         self.arrived_robjs += 1;
         if self.arrived_robjs == self.clusters.len() {
@@ -524,6 +608,12 @@ impl World for SimWorld {
     type Event = Ev;
 
     fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        // Advance the sink's virtual clock first: every event emitted while
+        // handling `ev` (including from inside the shared scheduler state
+        // machines) is stamped with the simulated time of `ev`.
+        if let Some(clock) = &self.clock {
+            clock.store(ctx.now().as_nanos(), Ordering::Relaxed);
+        }
         match ev {
             Ev::Boot => {
                 for c in 0..self.clusters.len() {
@@ -615,6 +705,13 @@ impl World for SimWorld {
                                 // runtime's drain-and-reclaim (no RNG
                                 // draws either, so fault streams stay
                                 // aligned between worlds).
+                                self.sink.emit(
+                                    Some(c as u32),
+                                    Some(s as u32),
+                                    EventKind::FetchDiscarded {
+                                        chunk: job.0 as u64,
+                                    },
+                                );
                                 self.clusters[c].slaves[s].leases -= 1;
                                 self.pool.release(loc, job);
                                 self.maybe_finish_retiring(ctx, c, s);
@@ -628,6 +725,7 @@ impl World for SimWorld {
                             // RNG draw).
                             let prob = self.params.faults.fetch_failure_prob;
                             let failed = prob > 0.0 && self.clusters[c].rngs[s].chance(prob);
+                            let fetch_ns = ctx.now().saturating_since(started).as_nanos();
                             let st = &mut self.clusters[c].slaves[s];
                             st.busy_fetch += ctx.now() - started;
                             if let Some(tr) = self.trace.as_mut() {
@@ -635,6 +733,22 @@ impl World for SimWorld {
                             }
                             if failed {
                                 self.recovery.fetch_failures += 1;
+                                // The injected fault and its terminal
+                                // failure coincide in the model (the real
+                                // stack separates them by a retry loop).
+                                self.sink.emit(
+                                    Some(c as u32),
+                                    Some(s as u32),
+                                    EventKind::FaultInjected,
+                                );
+                                self.sink.emit(
+                                    Some(c as u32),
+                                    Some(s as u32),
+                                    EventKind::FetchFailed {
+                                        chunk: job.0 as u64,
+                                        ns: fetch_ns,
+                                    },
+                                );
                                 let now = ctx.now();
                                 let st = &mut self.clusters[c].slaves[s];
                                 st.consecutive_failures += 1;
@@ -644,14 +758,32 @@ impl World for SimWorld {
                                     // on this fetch; the wasted wait is a
                                     // stall, as in the runtime.
                                     let idle = st.idle_since.take().unwrap_or(SimTime::ZERO);
-                                    st.stall += now.saturating_since(idle.max(started));
+                                    let stalled = now.saturating_since(idle.max(started));
+                                    st.stall += stalled;
                                     st.idle_since = Some(now);
+                                    self.sink.emit(
+                                        Some(c as u32),
+                                        Some(s as u32),
+                                        EventKind::Stall {
+                                            ns: stalled.as_nanos(),
+                                        },
+                                    );
+                                    if let Some(tr) = self.trace.as_mut() {
+                                        if !stalled.is_zero() {
+                                            tr.record(c, s, SpanKind::Stall, now - stalled, now);
+                                        }
+                                    }
                                 }
-                                let retire = st.consecutive_failures
+                                let retire = self.clusters[c].slaves[s].consecutive_failures
                                     >= self.params.faults.slave_failure_threshold;
                                 self.pool.fail(loc, job);
                                 if retire {
                                     self.recovery.slaves_retired += 1;
+                                    self.sink.emit(
+                                        Some(c as u32),
+                                        Some(s as u32),
+                                        EventKind::SlaveRetired { killed: false },
+                                    );
                                     self.retire_slave(ctx, c, s);
                                 } else {
                                     self.maybe_start_fetch(ctx, c, s);
@@ -659,6 +791,16 @@ impl World for SimWorld {
                                 }
                                 continue;
                             }
+                            self.sink.emit(
+                                Some(c as u32),
+                                Some(s as u32),
+                                EventKind::FetchEnd {
+                                    chunk: job.0 as u64,
+                                    bytes: chunk.len,
+                                    remote: stolen,
+                                    ns: fetch_ns,
+                                },
+                            );
                             let st = &mut self.clusters[c].slaves[s];
                             st.consecutive_failures = 0;
                             if stolen {
@@ -683,12 +825,23 @@ impl World for SimWorld {
                     st.jobs += 1;
                     let chunk = self.params.layout.chunk(job);
                     let home = self.params.placement.home(chunk.file);
-                    if home != self.params.clusters[c].location {
+                    let stolen = home != self.params.clusters[c].location;
+                    if stolen {
                         st.stolen_jobs += 1;
                     }
                     st.proc_busy = false;
                     st.leases -= 1;
                     st.idle_since = Some(ctx.now());
+                    self.sink.emit(
+                        Some(c as u32),
+                        Some(s as u32),
+                        EventKind::ProcessEnd {
+                            chunk: job.0 as u64,
+                            units: chunk.units,
+                            ns: st.cur_proc_ns,
+                            stolen,
+                        },
+                    );
                 }
                 let loc = self.params.clusters[c].location;
                 self.pool.complete(loc, job);
@@ -726,21 +879,33 @@ impl World for SimWorld {
 /// Run the simulation to completion and produce the same report schema as
 /// the real runtime.
 pub fn simulate(params: SimParams) -> Result<RunReport, String> {
-    simulate_inner(params, false).map(|(r, _)| r)
+    simulate_inner(params, false, false).map(|(r, _, _)| r)
 }
 
 /// Like [`simulate`], but also record an activity [`Trace`] (per-slave
 /// fetch/process/robj spans) for timeline rendering and utilization checks.
 pub fn simulate_traced(params: SimParams) -> Result<(RunReport, Trace), String> {
-    simulate_inner(params, true).map(|(r, t)| (r, t.expect("tracing was enabled")))
+    simulate_inner(params, true, false).map(|(r, t, _)| (r, t.expect("tracing was enabled")))
+}
+
+/// Like [`simulate_traced`], but additionally record the full structured
+/// event stream — the same [`EventKind`]s the real runtime emits, stamped
+/// with *virtual* nanoseconds — so simulated and real traces can be diffed
+/// event by event (and written to the same JSONL schema by
+/// `simulate --trace-out`).
+pub fn simulate_observed(
+    params: SimParams,
+) -> Result<(RunReport, Trace, Vec<EventRecord>), String> {
+    simulate_inner(params, true, true).map(|(r, t, e)| (r, t.expect("tracing was enabled"), e))
 }
 
 fn simulate_inner(
     params: SimParams,
     with_trace: bool,
-) -> Result<(RunReport, Option<Trace>), String> {
+    observe: bool,
+) -> Result<(RunReport, Option<Trace>, Vec<EventRecord>), String> {
     params.validate()?;
-    let mut engine = Engine::new(SimWorld::new(params, with_trace));
+    let mut engine = Engine::new(SimWorld::new(params, with_trace, observe));
     engine.schedule(SimTime::ZERO, Ev::Boot);
     // 960 jobs × ~5 events plus link wakeups: 10M is a generous livelock
     // guard, not a tuning knob.
@@ -825,7 +990,8 @@ fn simulate_inner(
         cache_hits: 0,
         cache_misses: 0,
     };
-    Ok((report, world.trace))
+    let events = world.recorder.map(|r| r.take()).unwrap_or_default();
+    Ok((report, world.trace, events))
 }
 
 #[cfg(test)]

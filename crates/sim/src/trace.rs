@@ -6,16 +6,26 @@
 //! per slave) and computes per-slave utilization — which is how the
 //! load-balancing claims of the paper can be *seen*, not just asserted.
 //!
+//! The chart uses the same glyph vocabulary as the live runtime's
+//! [`Timeline`](cloudburst_core::obs::Timeline) ([`GANTT_LEGEND`]), so a
+//! simulated Gantt and a real one from `run --trace-out` can be diffed
+//! side by side.
+//!
 //! [`RunReport`]: cloudburst_core::report::RunReport
 
 use cb_simnet::time::SimTime;
+use cloudburst_core::obs::GANTT_LEGEND;
 use std::fmt::Write as _;
 
-/// What a slave was doing during a span.
+/// What a slave was doing during a span. Glyphs match
+/// [`cloudburst_core::obs::SpanKind`] one for one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
     /// Retrieving a chunk (including request latency).
     Fetch,
+    /// The compute unit sat waiting on an in-flight fetch (the un-hidden
+    /// part of retrieval; what `fetch_stall_s` aggregates).
+    Stall,
     /// Local reduction over a chunk's units.
     Process,
     /// Shipping the cluster's reduction object to the head (attributed to
@@ -27,6 +37,7 @@ impl SpanKind {
     fn glyph(self) -> char {
         match self {
             SpanKind::Fetch => '▒',
+            SpanKind::Stall => '░',
             SpanKind::Process => '█',
             SpanKind::RobjTransfer => '◆',
         }
@@ -72,7 +83,8 @@ impl Trace {
         self.horizon = self.horizon.max(end);
     }
 
-    /// Busy fraction of one slave over the whole run (fetch + process).
+    /// Busy fraction of one slave over the whole run (fetch + process;
+    /// stalls and robj transfers are waiting, not work).
     pub fn utilization(&self, cluster: usize, slave: usize) -> f64 {
         if self.horizon == SimTime::ZERO {
             return 0.0;
@@ -81,7 +93,9 @@ impl Trace {
             .spans
             .iter()
             .filter(|s| {
-                s.cluster == cluster && s.slave == slave && s.kind != SpanKind::RobjTransfer
+                s.cluster == cluster
+                    && s.slave == slave
+                    && matches!(s.kind, SpanKind::Fetch | SpanKind::Process)
             })
             .map(|s| s.end.saturating_since(s.start).as_secs_f64())
             .sum();
@@ -108,7 +122,8 @@ impl Trace {
 
     /// Render a textual Gantt chart, one row per (cluster, slave), `width`
     /// columns spanning the whole run. Later spans overwrite earlier ones
-    /// in a cell; `█` compute, `▒` fetch, `◆` robj transfer, `·` idle.
+    /// in a cell; the glyphs are the shared
+    /// [`GANTT_LEGEND`].
     pub fn render_gantt(&self, width: usize) -> String {
         assert!(width > 0);
         let horizon = self.horizon.as_secs_f64().max(f64::MIN_POSITIVE);
@@ -127,7 +142,7 @@ impl Trace {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "gantt over {:.2}s  (█ process, ▒ fetch, ◆ robj, · idle)",
+            "gantt over {:.2}s  ({GANTT_LEGEND})",
             self.horizon.as_secs_f64()
         );
         for ((c, s), row) in rows {

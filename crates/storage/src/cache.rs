@@ -32,6 +32,10 @@ struct CacheState {
     next_stamp: u64,
 }
 
+/// Callback invoked on every cache lookup: `(hit, bytes)`; see
+/// [`CachedStore::with_observer`].
+pub type CacheObserver = Arc<dyn Fn(bool, u64) + Send + Sync>;
+
 /// A byte-bounded LRU read-through cache over any [`ObjectStore`].
 pub struct CachedStore {
     inner: Arc<dyn ObjectStore>,
@@ -40,6 +44,7 @@ pub struct CachedStore {
     hits: AtomicU64,
     misses: AtomicU64,
     name: String,
+    observer: Option<CacheObserver>,
 }
 
 impl CachedStore {
@@ -58,7 +63,16 @@ impl CachedStore {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            observer: None,
         }
+    }
+
+    /// Call `observer(hit, bytes)` on every lookup, at the same points the
+    /// hit/miss counters increment. A plain callback keeps this crate
+    /// independent of the runtime's event types.
+    pub fn with_observer(mut self, observer: CacheObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     pub fn hits(&self) -> u64 {
@@ -155,10 +169,16 @@ impl ObjectStore for CachedStore {
         let cached = self.state.lock().entries.get(&ckey).map(|(b, _)| b.clone());
         if let Some(hit) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.observer {
+                obs(true, len);
+            }
             self.touch(&ckey);
             return Ok(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.observer {
+            obs(false, len);
+        }
         let data = self.inner.get_range(key, offset, len)?;
         self.insert(ckey, data.clone());
         Ok(data)
@@ -293,6 +313,21 @@ mod tests {
         let misses = c.misses();
         c.get_range("a", 100, 100).unwrap();
         assert_eq!(c.misses(), misses + 1, "a100 was the true LRU victim");
+    }
+
+    #[test]
+    fn observer_sees_hits_and_misses() {
+        let seen: Arc<Mutex<Vec<(bool, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let obs_seen = Arc::clone(&seen);
+        let c = CachedStore::new(backing(), 1 << 20).with_observer(Arc::new(move |hit, bytes| {
+            obs_seen.lock().push((hit, bytes))
+        }));
+        c.get_range("a", 0, 100).unwrap(); // miss
+        c.get_range("a", 0, 100).unwrap(); // hit
+        c.get_range("b", 0, 50).unwrap(); // miss
+        assert_eq!(*seen.lock(), vec![(false, 100), (true, 100), (false, 50)]);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
     }
 
     #[test]

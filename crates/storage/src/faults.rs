@@ -62,7 +62,11 @@ pub struct FlakyStore {
     per_key_attempts: Mutex<HashMap<String, u32>>,
     injected: AtomicU64,
     name: String,
+    observer: Option<FaultObserver>,
 }
+
+/// Callback invoked once per injected fault; see [`FlakyStore::with_observer`].
+pub type FaultObserver = Arc<dyn Fn() + Send + Sync>;
 
 impl FlakyStore {
     pub fn new(inner: Arc<dyn ObjectStore>, mode: FaultMode, seed: u64) -> Self {
@@ -74,7 +78,16 @@ impl FlakyStore {
             rng: Mutex::new(DetRng::new(seed)),
             per_key_attempts: Mutex::new(HashMap::new()),
             injected: AtomicU64::new(0),
+            observer: None,
         }
+    }
+
+    /// Call `observer()` every time a fault is injected, at the same point
+    /// the `injected_failures` counter increments — lets the observability
+    /// layer record injected faults without this crate knowing its types.
+    pub fn with_observer(mut self, observer: FaultObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Restrict fault injection to `keys` (see [`keys_homed_at`]); GETs for
@@ -140,6 +153,9 @@ impl ObjectStore for FlakyStore {
             FaultDecision::Pass => {}
             FaultDecision::Fail => {
                 self.injected.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.observer {
+                    obs();
+                }
                 return Err(io::Error::new(
                     io::ErrorKind::ConnectionReset,
                     format!("injected transient failure on {key}"),
@@ -147,6 +163,9 @@ impl ObjectStore for FlakyStore {
             }
             FaultDecision::Stall(delay) => {
                 self.injected.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.observer {
+                    obs();
+                }
                 std::thread::sleep(delay);
             }
         }
@@ -265,6 +284,22 @@ mod tests {
             keys.into_iter().collect::<Vec<_>>(),
             vec!["f1".to_string(), "f3".to_string()]
         );
+    }
+
+    #[test]
+    fn observer_fires_per_injected_fault() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let obs_fired = Arc::clone(&fired);
+        let s = FlakyStore::new(backing(), FaultMode::FirstNPerKey { n: 2 }, 0).with_observer(
+            Arc::new(move || {
+                obs_fired.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        let _ = s.get_range("k", 0, 1);
+        let _ = s.get_range("k", 0, 1);
+        let _ = s.get_range("k", 0, 1); // passes: no fault left
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+        assert_eq!(s.injected_failures(), 2);
     }
 
     #[test]

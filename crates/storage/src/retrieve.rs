@@ -65,7 +65,7 @@ fn sleep_unless_aborted(total: Duration, abort: Option<&AtomicBool>) {
 /// let data = r.fetch(&store, "obj", 100, 4096).unwrap();
 /// assert_eq!(data.len(), 4096);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Retriever {
     threads: usize,
     /// Ranges smaller than this are fetched on the calling thread; spawning
@@ -88,6 +88,30 @@ pub struct Retriever {
     /// Shared counter incremented once per retry attempt, so callers (the
     /// runtime's `RecoveryStats`) can account for faults absorbed here.
     retry_counter: Option<Arc<AtomicU64>>,
+    /// Called once per retry attempt (1-based attempt number) alongside
+    /// `retry_counter` — the observability layer's per-event hook. Kept as
+    /// a plain callback so this crate stays independent of the runtime's
+    /// event types.
+    retry_hook: Option<RetryHook>,
+}
+
+/// Callback invoked once per retry attempt; see [`Retriever::with_retry_hook`].
+pub type RetryHook = Arc<dyn Fn(u32) + Send + Sync>;
+
+impl std::fmt::Debug for Retriever {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Retriever")
+            .field("threads", &self.threads)
+            .field("min_split_bytes", &self.min_split_bytes)
+            .field("retries", &self.retries)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("backoff_cap", &self.backoff_cap)
+            .field("jitter_seed", &self.jitter_seed)
+            .field("deadline", &self.deadline)
+            .field("retry_counter", &self.retry_counter)
+            .field("retry_hook", &self.retry_hook.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 impl Retriever {
@@ -102,6 +126,7 @@ impl Retriever {
             jitter_seed: 0,
             deadline: None,
             retry_counter: None,
+            retry_hook: None,
         }
     }
 
@@ -146,6 +171,14 @@ impl Retriever {
     /// Count every retry attempt into `counter`.
     pub fn with_retry_counter(mut self, counter: Arc<AtomicU64>) -> Self {
         self.retry_counter = Some(counter);
+        self
+    }
+
+    /// Invoke `hook(attempt)` once per retry attempt (1-based), at the same
+    /// point `with_retry_counter` increments — callers use it to emit
+    /// per-retry events without this crate knowing their event types.
+    pub fn with_retry_hook(mut self, hook: RetryHook) -> Self {
+        self.retry_hook = Some(hook);
         self
     }
 
@@ -212,6 +245,9 @@ impl Retriever {
                     attempt += 1;
                     if let Some(counter) = &self.retry_counter {
                         counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(hook) = &self.retry_hook {
+                        hook(attempt);
                     }
                     let sleep = backoff_schedule(
                         self.retry_backoff,
@@ -497,6 +533,22 @@ mod tests {
             .with_retry_counter(Arc::clone(&counter));
         r.fetch(&flaky, "k", 0, 10).unwrap();
         assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn retry_hook_sees_each_attempt() {
+        use crate::faults::{FaultMode, FlakyStore};
+        use parking_lot::Mutex;
+        let inner = Arc::new(MemStore::new("m"));
+        inner.put("k", patterned(100)).unwrap();
+        let flaky = FlakyStore::new(inner, FaultMode::FirstNPerKey { n: 2 }, 0);
+        let seen: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook_seen = Arc::clone(&seen);
+        let r = Retriever::new(1)
+            .with_retries(3, Duration::ZERO)
+            .with_retry_hook(Arc::new(move |attempt| hook_seen.lock().push(attempt)));
+        r.fetch(&flaky, "k", 0, 10).unwrap();
+        assert_eq!(*seen.lock(), vec![1, 2]);
     }
 
     #[test]

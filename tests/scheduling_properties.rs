@@ -1,5 +1,5 @@
 //! Property-based tests of the scheduling state machines and the combiner
-//! algebra — the invariants DESIGN.md §7 commits to.
+//! algebra — the invariants DESIGN.md §8 commits to.
 
 use cb_storage::layout::{ChunkId, LocationId, Placement};
 use cb_storage::organizer::organize_even;
