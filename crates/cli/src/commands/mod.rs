@@ -1,6 +1,7 @@
 //! Subcommand implementations. Each returns the text it would print, so
 //! integration tests can drive commands without spawning processes.
 
+pub mod distributed;
 pub mod generate;
 pub mod inspect;
 pub mod organize;

@@ -14,6 +14,7 @@ use cb_apps::knn::{KnnApp, KnnQuery};
 use cb_apps::pagerank::{next_ranks, rank_delta, PageRankApp, RankParams};
 use cb_apps::selection::{BoxQuery, SelectionApp};
 use cb_apps::wordcount::WordCountApp;
+use cb_net::RobjCodec;
 use cb_storage::builder::StoreMap;
 use cb_storage::layout::{LocationId, Placement};
 use cb_storage::store::{DiskStore, ObjectStore};
@@ -73,6 +74,8 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
         "prefetch-depth",
         "trace-out",
         "timeline",
+        "robj-out",
+        "compute-ns",
     ])?;
     let app_name = args.require("app")?;
     let index_path = args.require("index")?;
@@ -151,6 +154,11 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
     let mut cfg = RuntimeConfig::default();
     cfg.sink = sink;
     cfg.prefetch_depth = args.get_or("prefetch-depth", cfg.prefetch_depth)?;
+    cfg.synthetic_compute_ns_per_unit = args.get_or("compute-ns", 0)?;
+    // `--robj-out` dumps the canonical wire encoding of the final reduction
+    // object, so a distributed run's `head --robj-out` can be diffed
+    // byte-for-byte against the single-process answer.
+    let robj_out = args.get("robj-out").map(str::to_owned);
     if let Some(spec) = args.get("kill-slave") {
         cfg.kill_schedule = parse_kill_schedule(spec)?;
     }
@@ -161,6 +169,9 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
             let out = run_gr(&WordCountApp, &(), &layout, &placement, &deployment, &cfg)
                 .map_err(|e| CmdError::Other(e.to_string()))?;
             let _ = writeln!(s, "wordcount: {} distinct words", out.result.len());
+            if let Some(p) = &robj_out {
+                std::fs::write(p, out.result.encode_robj())?;
+            }
             let mut top: Vec<(u64, u64)> = out.result.iter().map(|(w, (_, n))| (w, n)).collect();
             top.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
             for (w, n) in top.into_iter().take(10) {
@@ -178,6 +189,9 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
             let out = run_gr(&app, &query, &layout, &placement, &deployment, &cfg)
                 .map_err(|e| CmdError::Other(e.to_string()))?;
             let _ = writeln!(s, "knn: {k} nearest to the center point");
+            if let Some(p) = &robj_out {
+                std::fs::write(p, out.result.encode_robj())?;
+            }
             for (d2, id) in out.result.into_sorted() {
                 let _ = writeln!(s, "  id {id:>14}  distance² {d2:.6}");
             }
@@ -190,6 +204,9 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
             let out = run_gr(&app, &query, &layout, &placement, &deployment, &cfg)
                 .map_err(|e| CmdError::Other(e.to_string()))?;
             let robj_bytes = out.result.size_bytes();
+            if let Some(p) = &robj_out {
+                std::fs::write(p, out.result.encode_robj())?;
+            }
             let hits = out.result.into_sorted();
             let _ = writeln!(
                 s,
@@ -200,6 +217,13 @@ pub fn run(args: &Args) -> Result<String, CmdError> {
             let _ = write!(s, "{}", out.report.render());
         }
         "pagerank" => {
+            if robj_out.is_some() {
+                return Err(CmdError::Other(
+                    "--robj-out is not supported for pagerank (iterative; no single \
+                     final reduction object)"
+                        .into(),
+                ));
+            }
             let passes: usize = args.get_or("passes", 10)?;
             // First scan: edge list -> page universe and out-degrees. Edges
             // are read through the same fabric the runtime will use.

@@ -14,17 +14,19 @@ mod args;
 mod commands;
 
 use args::Args;
-use commands::{generate, inspect, organize, run, simulate};
+use commands::{distributed, generate, inspect, organize, run, simulate};
 
 fn usage() -> String {
     format!(
         "cloudburst — data-intensive computing with cloud bursting\n\n\
-         subcommands:\n  {}\n  {}\n  {}\n  {}\n  {}\n",
+         subcommands:\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n  {}\n",
         generate::USAGE,
         organize::USAGE,
         inspect::USAGE,
         run::USAGE,
-        simulate::USAGE
+        simulate::USAGE,
+        distributed::HEAD_USAGE,
+        distributed::WORKER_USAGE
     )
 }
 
@@ -46,6 +48,8 @@ fn main() {
         "inspect" => inspect::run(&args),
         "run" => run::run(&args),
         "simulate" => simulate::run(&args),
+        "head" => distributed::head(&args),
+        "worker" => distributed::worker(&args),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             return;

@@ -1,0 +1,254 @@
+//! Multi-process end-to-end: launch the real `cloudburst` binary as one
+//! head and two workers over localhost TCP and diff the shipped result
+//! against a single-process `cloudburst run` — byte for byte. The second
+//! test `kill -9`s a worker mid-run and the answer must still be exact.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cloudburst"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("spawn cloudburst");
+    assert!(
+        out.status.success(),
+        "cloudburst {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cb-dist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A port the OS just handed out and released — free for our head to bind.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+/// Wait for a child with a hard deadline; kill and fail on overrun so a hung
+/// head can never wedge the test suite.
+fn wait_with_deadline(mut child: Child, what: &str, deadline: Duration) -> std::process::Output {
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(_) => return child.wait_with_output().expect("collect output"),
+            None if t0.elapsed() > deadline => {
+                let _ = child.kill();
+                panic!("{what} still running after {deadline:?}");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+struct Corpus {
+    dir: String,
+    index: String,
+}
+
+fn make_corpus(tag: &str) -> Corpus {
+    let dir = temp_dir(tag);
+    let dir_s = dir.to_str().unwrap().to_owned();
+    let index = format!("{dir_s}.grix");
+    run_ok(&[
+        "generate",
+        "--kind",
+        "words",
+        "--out",
+        &dir_s,
+        "--files",
+        "4",
+        "--per-file",
+        "6000",
+        "--per-chunk",
+        "1000",
+        "--vocab",
+        "400",
+        "--seed",
+        "11",
+    ]);
+    run_ok(&[
+        "organize",
+        "--store",
+        &dir_s,
+        "--unit-bytes",
+        "8",
+        "--chunk-bytes",
+        "8000",
+        "--out",
+        &index,
+    ]);
+    Corpus { dir: dir_s, index }
+}
+
+fn spawn_head(c: &Corpus, addr: &str, robj: &str, extra: &[&str]) -> Child {
+    bin()
+        .args([
+            "head",
+            "--listen",
+            addr,
+            "--app",
+            "wordcount",
+            "--index",
+            &c.index,
+            "--workers",
+            "2",
+            "--frac-local",
+            "0.5",
+            "--robj-out",
+            robj,
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn head")
+}
+
+fn spawn_worker(c: &Corpus, addr: &str, cluster: &str, extra: &[&str]) -> Child {
+    bin()
+        .args([
+            "worker",
+            "--connect",
+            addr,
+            "--app",
+            "wordcount",
+            "--index",
+            &c.index,
+            "--data",
+            &c.dir,
+            "--data2",
+            &c.dir,
+            "--frac-local",
+            "0.5",
+            "--cluster",
+            cluster,
+            "--cores",
+            "1",
+        ])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+#[test]
+fn three_process_run_matches_single_process() {
+    let c = make_corpus("ok");
+    let single = format!("{}-single.robj", c.dir);
+    let dist = format!("{}-dist.robj", c.dir);
+    run_ok(&[
+        "run",
+        "--app",
+        "wordcount",
+        "--index",
+        &c.index,
+        "--data",
+        &c.dir,
+        "--data2",
+        &c.dir,
+        "--frac-local",
+        "0.5",
+        "--robj-out",
+        &single,
+    ]);
+
+    let addr = format!("127.0.0.1:{}", free_port());
+    let head = spawn_head(&c, &addr, &dist, &[]);
+    // Workers reconnect with backoff, so spawn order doesn't matter.
+    let w0 = spawn_worker(&c, &addr, "0", &[]);
+    let w1 = spawn_worker(&c, &addr, "1", &[]);
+
+    let out = wait_with_deadline(head, "head", Duration::from_secs(120));
+    assert!(
+        out.status.success(),
+        "head failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    wait_with_deadline(w0, "worker 0", Duration::from_secs(30));
+    wait_with_deadline(w1, "worker 1", Duration::from_secs(30));
+
+    let a = std::fs::read(&single).expect("single-process robj");
+    let b = std::fs::read(&dist).expect("distributed robj");
+    assert_eq!(
+        a, b,
+        "distributed result must match single-process byte for byte"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wordcount: 400 distinct words"), "{stdout}");
+}
+
+#[test]
+fn worker_killed_mid_run_still_yields_exact_result() {
+    let c = make_corpus("kill");
+    let single = format!("{}-single.robj", c.dir);
+    let dist = format!("{}-dist.robj", c.dir);
+    run_ok(&[
+        "run",
+        "--app",
+        "wordcount",
+        "--index",
+        &c.index,
+        "--data",
+        &c.dir,
+        "--data2",
+        &c.dir,
+        "--frac-local",
+        "0.5",
+        "--robj-out",
+        &single,
+    ]);
+
+    let addr = format!("127.0.0.1:{}", free_port());
+    // Stretch each job to ~200 ms of synthetic compute (24 jobs, 1 core per
+    // worker) so the run is still a couple of seconds from done when the
+    // victim dies, and the survivor is alive to absorb the forfeited jobs.
+    let stretch: &[&str] = &["--compute-ns", "200000"];
+    let head = spawn_head(&c, &addr, &dist, &["--heartbeat-ms", "100"]);
+    let w0 = spawn_worker(&c, &addr, "0", stretch);
+    let victim = spawn_worker(&c, &addr, "1", stretch);
+
+    // Let the victim handshake, take a batch, and report some completions —
+    // the hardest recovery case — then kill it dead, no goodbye.
+    std::thread::sleep(Duration::from_millis(800));
+    let pid = victim.id();
+    let status = Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -9 {pid} failed");
+    wait_with_deadline(victim, "victim worker", Duration::from_secs(10));
+
+    let out = wait_with_deadline(head, "head", Duration::from_secs(120));
+    assert!(
+        out.status.success(),
+        "head failed after worker loss:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    wait_with_deadline(w0, "surviving worker", Duration::from_secs(60));
+
+    let a = std::fs::read(&single).expect("single-process robj");
+    let b = std::fs::read(&dist).expect("distributed robj");
+    assert_eq!(a, b, "result must be exact despite a worker dying mid-run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("(lost)"),
+        "report should mark the lost worker:\n{stdout}"
+    );
+}

@@ -124,6 +124,12 @@ impl<T: Ord + Send + 'static> Concat<T> {
         self.items.sort_unstable();
         self.items
     }
+
+    /// The collected records in arrival order (wire codecs sort a copy
+    /// themselves to stay canonical without consuming the object).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
 }
 
 impl<T: Ord + Send + 'static> ReductionObject for Concat<T> {
@@ -196,6 +202,15 @@ impl KeyedSum {
 
     pub fn iter(&self) -> impl Iterator<Item = (u64, (f64, u64))> + '_ {
         self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Reconstruct an entry verbatim — `(sum, count)` as stored, not one
+    /// observation like [`KeyedSum::add`]. Merges with any existing entry.
+    /// This is how wire codecs rebuild a shipped object exactly.
+    pub fn insert_entry(&mut self, key: u64, sum: f64, count: u64) {
+        let e = self.entries.entry(key).or_insert((0.0, 0));
+        e.0 += sum;
+        e.1 += count;
     }
 }
 
@@ -291,6 +306,12 @@ impl TopK {
 
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The kept entries in heap order (wire codecs re-`offer` these on
+    /// decode; callers wanting ranked output use [`TopK::into_sorted`]).
+    pub fn entries(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.heap.iter().map(|e| (e.score, e.payload))
     }
 
     /// Best-first (ascending score) results.

@@ -60,4 +60,6 @@ pub use deploy::{ClusterSpec, DataFabric, Deployment};
 pub use iterate::{run_iterative, IterativeOutcome, Step};
 pub use obs::{EventKind, EventRecord, EventSink, RecordingSink, SinkHandle};
 pub use report::{ClusterBreakdown, RunReport};
-pub use runtime::{run, RunOutcome, RuntimeError};
+pub use runtime::{
+    run, run_cluster, ClusterOutcome, HeadPort, Resolution, RunOutcome, RuntimeError, SlaveStats,
+};

@@ -139,6 +139,19 @@ pub enum EventKind {
     PassBoundary { pass: u64 },
     /// A master asked the head for more work with `queue_len` jobs left.
     MasterRefill { queue_len: u64 },
+    /// A control-plane frame of `bytes` was written to a network peer
+    /// (distributed runs only; `cluster` identifies the peer on the head
+    /// side, the emitting cluster on the worker side).
+    NetSent { bytes: u64 },
+    /// A control-plane frame of `bytes` was read from a network peer.
+    NetRecv { bytes: u64 },
+    /// A worker completed the handshake and joined the run with `cores`
+    /// slave cores.
+    PeerJoined { cores: u64 },
+    /// A worker was declared lost (socket error or missed heartbeats);
+    /// `jobs` of its work — leases *and* unshipped completions — were
+    /// returned to the pool.
+    PeerLost { jobs: u64 },
 }
 
 impl EventKind {
@@ -163,6 +176,10 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::PassBoundary { .. } => "pass_boundary",
             EventKind::MasterRefill { .. } => "master_refill",
+            EventKind::NetSent { .. } => "net_sent",
+            EventKind::NetRecv { .. } => "net_recv",
+            EventKind::PeerJoined { .. } => "peer_joined",
+            EventKind::PeerLost { .. } => "peer_lost",
         }
     }
 }
@@ -382,6 +399,11 @@ impl EventRecord {
             EventKind::MasterRefill { queue_len } => {
                 pairs.push(("queue_len".into(), u(queue_len)));
             }
+            EventKind::NetSent { bytes } | EventKind::NetRecv { bytes } => {
+                pairs.push(("bytes".into(), u(bytes)));
+            }
+            EventKind::PeerJoined { cores } => pairs.push(("cores".into(), u(cores))),
+            EventKind::PeerLost { jobs } => pairs.push(("jobs".into(), u(jobs))),
         }
         Value::Object(pairs)
     }
@@ -478,6 +500,18 @@ impl EventRecord {
             },
             "master_refill" => EventKind::MasterRefill {
                 queue_len: get_u64(v, "queue_len")?,
+            },
+            "net_sent" => EventKind::NetSent {
+                bytes: get_u64(v, "bytes")?,
+            },
+            "net_recv" => EventKind::NetRecv {
+                bytes: get_u64(v, "bytes")?,
+            },
+            "peer_joined" => EventKind::PeerJoined {
+                cores: get_u64(v, "cores")?,
+            },
+            "peer_lost" => EventKind::PeerLost {
+                jobs: get_u64(v, "jobs")?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };
@@ -797,6 +831,14 @@ pub struct TraceSummary {
     pub robj_merges: u64,
     pub faults_injected: u64,
     pub passes: u64,
+    /// Control-plane frames written/read (distributed runs; zero for
+    /// in-process runs, matching `NetStats::default`).
+    pub frames_sent: u64,
+    pub frames_recv: u64,
+    pub net_bytes_sent: u64,
+    pub net_bytes_recv: u64,
+    pub peers_joined: u64,
+    pub peers_lost: u64,
 }
 
 impl TraceSummary {
@@ -859,6 +901,16 @@ impl TraceSummary {
                 EventKind::CacheMiss { .. } => s.cache_misses += 1,
                 EventKind::FaultInjected => s.faults_injected += 1,
                 EventKind::PassBoundary { pass } => s.passes = s.passes.max(pass + 1),
+                EventKind::NetSent { bytes } => {
+                    s.frames_sent += 1;
+                    s.net_bytes_sent += bytes;
+                }
+                EventKind::NetRecv { bytes } => {
+                    s.frames_recv += 1;
+                    s.net_bytes_recv += bytes;
+                }
+                EventKind::PeerJoined { .. } => s.peers_joined += 1,
+                EventKind::PeerLost { .. } => s.peers_lost += 1,
                 _ => {}
             }
         }
@@ -947,6 +999,16 @@ impl TraceSummary {
         )?;
         eq("cache_hits", self.cache_hits, report.cache_hits)?;
         eq("cache_misses", self.cache_misses, report.cache_misses)?;
+        eq("net.frames_sent", self.frames_sent, report.net.frames_sent)?;
+        eq("net.frames_recv", self.frames_recv, report.net.frames_recv)?;
+        eq("net.bytes_sent", self.net_bytes_sent, report.net.bytes_sent)?;
+        eq("net.bytes_recv", self.net_bytes_recv, report.net.bytes_recv)?;
+        eq(
+            "net.peers_joined",
+            self.peers_joined,
+            report.net.peers_joined,
+        )?;
+        eq("net.peers_lost", self.peers_lost, report.net.peers_lost)?;
         Ok(())
     }
 }
@@ -1200,6 +1262,10 @@ mod tests {
             EventKind::FaultInjected,
             EventKind::PassBoundary { pass: 1 },
             EventKind::MasterRefill { queue_len: 2 },
+            EventKind::NetSent { bytes: 48 },
+            EventKind::NetRecv { bytes: 37 },
+            EventKind::PeerJoined { cores: 4 },
+            EventKind::PeerLost { jobs: 7 },
         ]
     }
 

@@ -85,6 +85,35 @@ impl RecoveryStats {
     }
 }
 
+/// Control-plane network accounting for one run. All zeros for in-process
+/// runs (the loopback head exchanges no frames); filled in by the `cb-net`
+/// head for distributed runs. Mirrors the `NetSent`/`NetRecv`/`PeerJoined`/
+/// `PeerLost` event kinds, which
+/// [`TraceSummary::reconcile`](crate::obs::TraceSummary::reconcile) checks
+/// against these counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct NetStats {
+    /// Wire frames written to peers.
+    pub frames_sent: u64,
+    /// Wire frames read from peers.
+    pub frames_recv: u64,
+    /// Bytes written (length prefixes included).
+    pub bytes_sent: u64,
+    /// Bytes read (length prefixes included).
+    pub bytes_recv: u64,
+    /// Workers that completed the handshake.
+    pub peers_joined: u64,
+    /// Workers declared lost (socket error or missed heartbeats).
+    pub peers_lost: u64,
+}
+
+impl NetStats {
+    /// True for a run that never touched the network (in-process loopback).
+    pub fn is_idle(&self) -> bool {
+        *self == NetStats::default()
+    }
+}
+
 /// A full run: per-cluster breakdowns plus global phases.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct RunReport {
@@ -108,6 +137,9 @@ pub struct RunReport {
     /// Chunk-cache misses across the run.
     #[serde(default)]
     pub cache_misses: u64,
+    /// Control-plane network accounting (zeros for in-process runs).
+    #[serde(default)]
+    pub net: NetStats,
 }
 
 impl RunReport {
@@ -179,6 +211,20 @@ impl RunReport {
                 r.fetch_failures, r.jobs_reenqueued, r.retries, r.slaves_retired, r.slaves_killed
             );
         }
+        if !self.net.is_idle() {
+            let n = &self.net;
+            let _ = writeln!(
+                out,
+                "network: {} peers joined ({} lost), {} frames / {} bytes sent, \
+                 {} frames / {} bytes received",
+                n.peers_joined,
+                n.peers_lost,
+                n.frames_sent,
+                n.bytes_sent,
+                n.frames_recv,
+                n.bytes_recv
+            );
+        }
         out
     }
 }
@@ -227,6 +273,7 @@ mod tests {
             recovery: RecoveryStats::default(),
             cache_hits: 0,
             cache_misses: 0,
+            net: NetStats::default(),
         }
     }
 
@@ -296,6 +343,35 @@ mod tests {
         assert_eq!(back.clusters[1].fetch_stall_s, 0.0);
         assert_eq!(back.cache_hits, 0);
         assert_eq!(back.cache_misses, 0);
+    }
+
+    #[test]
+    fn json_without_net_field_defaults_idle() {
+        // Reports serialized before the network subsystem existed must
+        // still load, with net counters defaulting to an idle NetStats.
+        let r = sample();
+        let s = serde_json::to_string(&r).unwrap();
+        let stripped = s.replace(
+            ",\"net\":{\"frames_sent\":0,\"frames_recv\":0,\"bytes_sent\":0,\
+             \"bytes_recv\":0,\"peers_joined\":0,\"peers_lost\":0}",
+            "",
+        );
+        assert_ne!(s, stripped, "net field was serialized");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert!(back.net.is_idle());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn render_shows_network_when_distributed() {
+        let mut r = sample();
+        assert!(!r.render().contains("network:"), "idle net row omitted");
+        r.net.peers_joined = 2;
+        r.net.frames_sent = 10;
+        r.net.bytes_sent = 420;
+        let text = r.render();
+        assert!(text.contains("2 peers joined"));
+        assert!(text.contains("10 frames / 420 bytes sent"));
     }
 
     #[test]

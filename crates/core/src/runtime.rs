@@ -48,11 +48,11 @@
 
 use crate::api::{GRApp, ReductionObject};
 use crate::config::RuntimeConfig;
-use crate::deploy::Deployment;
+use crate::deploy::{ClusterSpec, DataFabric, Deployment};
 use crate::obs::EventKind;
 use crate::report::{ClusterBreakdown, RecoveryStats, RunReport};
 use crate::sched::master::{MasterJob, MasterPool};
-use crate::sched::pool::JobPool;
+use crate::sched::pool::{Grant, JobPool};
 use bytes::Bytes;
 use cb_storage::layout::{ChunkId, DatasetLayout, LocationId, Placement};
 use cb_storage::retrieve::Retriever;
@@ -120,18 +120,89 @@ impl std::error::Error for RuntimeError {}
 
 /// Per-slave accumulated timings and counters.
 #[derive(Debug, Clone, Default)]
-struct SlaveStats {
-    processing: Duration,
-    retrieval: Duration,
+pub struct SlaveStats {
+    pub processing: Duration,
+    pub retrieval: Duration,
     /// Time the fold loop actually *blocked* waiting for its fetcher to
     /// deliver chunk data. Without prefetching this equals `retrieval`;
     /// with it, `retrieval - fetch_stall` is what the pipeline hid.
-    fetch_stall: Duration,
-    jobs: u64,
-    stolen_jobs: u64,
-    units: u64,
-    bytes_local: u64,
-    bytes_remote: u64,
+    pub fetch_stall: Duration,
+    pub jobs: u64,
+    pub stolen_jobs: u64,
+    pub units: u64,
+    pub bytes_local: u64,
+    pub bytes_remote: u64,
+}
+
+/// How a master reports one lease back to the head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Processed and folded into the cluster's reduction object.
+    Completed(ChunkId),
+    /// Attempted and failed (charges the job's failure budget).
+    Failed(ChunkId),
+    /// Returned unattempted (reclaimed prefetch lease; uncharged).
+    Released(ChunkId),
+}
+
+/// The master's view of the head node.
+///
+/// [`run`] talks to the in-process [`JobPool`] through this trait (the
+/// loopback special case, implemented directly on `Mutex<JobPool>`); the
+/// `cb-net` crate implements it over a TCP connection so the identical
+/// master/slave machinery drives a remote head. Errors mean "the head is
+/// unreachable" — the master winds its cluster down cleanly and lets the
+/// head's own peer-loss handling reclaim the leases.
+pub trait HeadPort: Sync {
+    /// Request a job batch for the cluster at `loc`. The boolean is the
+    /// head's exhaustion verdict, observed atomically with the (possibly
+    /// empty) grant: once `true`, no job this location could run will ever
+    /// become available again and the master may shut down.
+    fn request_jobs(&self, loc: LocationId) -> io::Result<(Grant, bool)>;
+
+    /// Report the outcome of one lease.
+    fn resolve(&self, loc: LocationId, what: Resolution) -> io::Result<()>;
+}
+
+/// The loopback head: the pool itself, behind its mutex. The request and
+/// the exhaustion check happen under one lock acquisition, so exhaustion
+/// observed here cannot be invalidated by a concurrent fail-back.
+impl HeadPort for Mutex<JobPool> {
+    fn request_jobs(&self, loc: LocationId) -> io::Result<(Grant, bool)> {
+        let mut h = self.lock();
+        let grant = h.request(loc);
+        let exhausted = grant.jobs.is_empty() && h.exhausted_for(loc);
+        Ok((grant, exhausted))
+    }
+
+    fn resolve(&self, loc: LocationId, what: Resolution) -> io::Result<()> {
+        let mut h = self.lock();
+        match what {
+            Resolution::Completed(c) => h.complete(loc, c),
+            Resolution::Failed(c) => h.fail(loc, c),
+            Resolution::Released(c) => h.release(loc, c),
+        }
+        Ok(())
+    }
+}
+
+/// Everything one cluster produced, as returned by [`run_cluster`]: the
+/// locally-combined reduction object (shipped through the WAN throttle if
+/// one is configured), per-slave stats, and recovery accounting.
+#[derive(Debug)]
+pub struct ClusterOutcome<R> {
+    pub robj: Option<Box<R>>,
+    pub stats: Vec<SlaveStats>,
+    /// Instant at which all of this cluster's slaves finished and the local
+    /// combination completed (before the WAN transfer).
+    pub local_done: Instant,
+    /// This cluster's share of the recovery accounting (fetch failures,
+    /// retired/killed slaves). `jobs_reenqueued` and `retries` are filled
+    /// in by the caller, which owns those counters.
+    pub recovery: RecoveryStats,
+    /// First failure message observed (diagnostics; non-fatal unless jobs
+    /// die permanently).
+    pub error: Option<String>,
 }
 
 /// What happened to the last job a slave held.
@@ -205,20 +276,10 @@ enum Fetched {
     NoMore,
 }
 
-/// Master → head-collector message.
+/// Cluster-thread → head-collector message.
 struct ClusterResult<R> {
     cluster: usize,
-    robj: Option<Box<R>>,
-    stats: Vec<SlaveStats>,
-    /// Instant at which all of this cluster's slaves finished and the local
-    /// combination completed (before the WAN transfer).
-    local_done: Instant,
-    /// This cluster's share of the recovery accounting (fetch failures,
-    /// retired/killed slaves).
-    recovery: RecoveryStats,
-    /// First failure message observed (diagnostics; non-fatal unless jobs
-    /// die permanently).
-    error: Option<String>,
+    outcome: ClusterOutcome<R>,
 }
 
 /// Outcome of [`run`]: the final reduction object plus measurements.
@@ -293,58 +354,30 @@ pub fn run<A: GRApp>(
 
     std::thread::scope(|scope| {
         for (ci, cluster) in deployment.clusters.iter().enumerate() {
-            let (to_master_tx, to_master_rx) = unbounded::<ToMaster<A::RObj>>();
-            let mut job_txs: Vec<Sender<Option<MasterJob>>> = Vec::with_capacity(cluster.cores);
-
-            // Slaves.
-            for si in 0..cluster.cores {
-                let (job_tx, job_rx) = unbounded::<Option<MasterJob>>();
-                job_txs.push(job_tx);
-                let to_master = to_master_tx.clone();
-                let retry_counter = Arc::clone(&retry_counter);
-                scope.spawn({
-                    let cluster = cluster.clone();
-                    move || {
-                        slave_loop(
-                            app,
-                            params,
-                            layout,
-                            placement,
-                            deployment,
-                            cfg,
-                            &cluster,
-                            ci,
-                            si,
-                            retry_counter,
-                            to_master,
-                            job_rx,
-                        )
-                    }
-                });
-            }
-            drop(to_master_tx);
-
-            // Master.
             let result_tx = result_tx.clone();
-            let head_ref = &head;
-            scope.spawn({
-                let cluster = cluster.clone();
-                move || {
-                    master_loop::<A>(
-                        ci,
-                        &cluster,
-                        cfg,
-                        head_ref,
-                        to_master_rx,
-                        job_txs,
-                        result_tx,
-                    )
-                }
+            let head = &head;
+            let retry_counter = &retry_counter;
+            scope.spawn(move || {
+                let outcome = run_cluster(
+                    app,
+                    params,
+                    layout,
+                    placement,
+                    &deployment.fabric,
+                    cluster,
+                    ci,
+                    cfg,
+                    head,
+                    retry_counter,
+                );
+                let _ = result_tx.send(ClusterResult {
+                    cluster: ci,
+                    outcome,
+                });
             });
         }
         drop(result_tx);
-        Ok(())
-    })?;
+    });
 
     // Head: collect per-cluster results, perform the global reduction. All
     // threads have joined (the scope closed), so the channel holds whatever
@@ -367,7 +400,7 @@ pub fn run<A: GRApp>(
     let mut final_robj: Option<A::RObj> = None;
     let mut local_dones: Vec<Instant> = Vec::with_capacity(n_clusters);
     for r in results.iter_mut() {
-        let r = r.as_mut().expect("checked above");
+        let r = &mut r.as_mut().expect("checked above").outcome;
         if let Some(e) = r.error.take() {
             error.get_or_insert(e);
         }
@@ -380,7 +413,7 @@ pub fn run<A: GRApp>(
     let last_local_done = local_dones.iter().copied().max().unwrap_or(t0);
     // Merge in cluster order: the global reduction proper.
     for r in results.iter_mut() {
-        if let Some(robj) = r.as_mut().and_then(|r| r.robj.take()) {
+        if let Some(robj) = r.as_mut().and_then(|r| r.outcome.robj.take()) {
             match final_robj.as_mut() {
                 None => final_robj = Some(*robj),
                 Some(acc) => acc.merge(*robj),
@@ -412,7 +445,7 @@ pub fn run<A: GRApp>(
     let global_reduction = end.saturating_duration_since(last_local_done);
     let mut clusters = Vec::with_capacity(n_clusters);
     for (ci, r) in results.into_iter().enumerate() {
-        let r = r.expect("checked above");
+        let r = r.expect("checked above").outcome;
         let spec = &deployment.clusters[ci];
         let n = r.stats.len().max(1) as f64;
         let proc_s: f64 = r
@@ -466,6 +499,7 @@ pub fn run<A: GRApp>(
         recovery,
         cache_hits: 0,
         cache_misses: 0,
+        net: Default::default(),
     };
     Ok(RunOutcome {
         result: final_robj,
@@ -473,159 +507,204 @@ pub fn run<A: GRApp>(
     })
 }
 
-/// Report a slave's job outcome to the head.
+/// Report a slave's job outcome to the head. An `Err` means the head is
+/// unreachable (only possible through a networked [`HeadPort`]).
 fn note_outcome(
-    head: &Mutex<JobPool>,
+    head: &dyn HeadPort,
     loc: LocationId,
     outcome: JobOutcome,
     recovery: &mut RecoveryStats,
     first_error: &mut Option<String>,
-) {
+) -> io::Result<()> {
     match outcome {
-        JobOutcome::None => {}
-        JobOutcome::Completed(chunk) => head.lock().complete(loc, chunk),
+        JobOutcome::None => Ok(()),
+        JobOutcome::Completed(chunk) => head.resolve(loc, Resolution::Completed(chunk)),
         JobOutcome::Failed { chunk, error } => {
             recovery.fetch_failures += 1;
             first_error.get_or_insert(error);
-            head.lock().fail(loc, chunk);
+            head.resolve(loc, Resolution::Failed(chunk))
         }
     }
 }
 
-/// The master thread: serve slaves, refill from the head, merge results.
-fn master_loop<A: GRApp>(
+/// Run one cluster — the master loop on the calling thread plus `cores`
+/// slave threads — against a head reached through `head`.
+///
+/// This is the unit [`run`] composes in-process (one call per cluster, all
+/// sharing a `Mutex<JobPool>` loopback head) and `cb-net` runs standalone
+/// in a worker process (with a TCP-backed port). The cluster's reduction
+/// object is shipped through the WAN throttle before returning.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster<A: GRApp>(
+    app: &A,
+    params: &A::Params,
+    layout: &DatasetLayout,
+    placement: &Placement,
+    fabric: &DataFabric,
+    cluster: &ClusterSpec,
     cluster_idx: usize,
-    cluster: &crate::deploy::ClusterSpec,
     cfg: &RuntimeConfig,
-    head: &Mutex<JobPool>,
-    rx: Receiver<ToMaster<A::RObj>>,
-    job_txs: Vec<Sender<Option<MasterJob>>>,
-    result_tx: Sender<ClusterResult<A::RObj>>,
-) {
+    head: &dyn HeadPort,
+    retry_counter: &Arc<AtomicU64>,
+) -> ClusterOutcome<A::RObj> {
     let loc = cluster.location;
-    let n_slaves = job_txs.len();
-    let mut pool =
-        MasterPool::new(cfg.master_low_water).with_sink(cfg.sink.clone(), cluster_idx as u32);
-    let mut stats: Vec<SlaveStats> = Vec::with_capacity(n_slaves);
-    let mut robj_acc: Option<Box<A::RObj>> = None;
-    let mut recovery = RecoveryStats::default();
-    let mut error: Option<String> = None;
-    let mut finished_slaves = 0usize;
-    // Slaves that asked for a job the pool could not supply yet. An empty
-    // head grant means "nothing right now", not "never": a job leased to
-    // another cluster may still fail back, so parked slaves wait until the
-    // head confirms exhaustion.
-    let mut parked: VecDeque<usize> = VecDeque::new();
+    let n_slaves = cluster.cores;
+    let (to_master_tx, rx) = unbounded::<ToMaster<A::RObj>>();
 
-    let refill = |pool: &mut MasterPool| {
-        pool.mark_requested();
-        // The request/grant exchange crosses the master↔head network.
-        if !cluster.head_rtt.is_zero() {
-            std::thread::sleep(cluster.head_rtt);
+    std::thread::scope(|scope| {
+        let mut job_txs: Vec<Sender<Option<MasterJob>>> = Vec::with_capacity(n_slaves);
+        for si in 0..n_slaves {
+            let (job_tx, job_rx) = unbounded::<Option<MasterJob>>();
+            job_txs.push(job_tx);
+            let to_master = to_master_tx.clone();
+            scope.spawn(move || {
+                slave_loop(
+                    app,
+                    params,
+                    layout,
+                    placement,
+                    fabric,
+                    cfg,
+                    cluster,
+                    cluster_idx,
+                    si,
+                    Arc::clone(retry_counter),
+                    to_master,
+                    job_rx,
+                )
+            });
         }
-        let mut h = head.lock();
-        let grant = h.request(loc);
-        // Checked under the same lock as the grant: exhaustion observed here
-        // cannot be invalidated by a later fail-back (it implies no
-        // reachable job is outstanding anywhere).
-        let exhausted = grant.jobs.is_empty() && h.exhausted_for(loc);
-        drop(h);
-        pool.on_grant(grant.jobs, grant.stolen);
-        if exhausted {
-            pool.mark_exhausted();
-        }
-    };
+        drop(to_master_tx);
 
-    while finished_slaves < n_slaves {
-        match rx.recv_timeout(MASTER_POLL) {
-            Ok(ToMaster::Request { slave, outcome }) => {
-                note_outcome(head, loc, outcome, &mut recovery, &mut error);
-                parked.push_back(slave);
+        // --- Master loop (this thread): serve slaves, refill from the
+        // head, merge the slaves' reduction objects. ---
+        let mut pool =
+            MasterPool::new(cfg.master_low_water).with_sink(cfg.sink.clone(), cluster_idx as u32);
+        let mut stats: Vec<SlaveStats> = Vec::with_capacity(n_slaves);
+        let mut robj_acc: Option<Box<A::RObj>> = None;
+        let mut recovery = RecoveryStats::default();
+        let mut error: Option<String> = None;
+        let mut finished_slaves = 0usize;
+        // Slaves that asked for a job the pool could not supply yet. An
+        // empty head grant means "nothing right now", not "never": a job
+        // leased to another cluster may still fail back, so parked slaves
+        // wait until the head confirms exhaustion.
+        let mut parked: VecDeque<usize> = VecDeque::new();
+
+        let refill = |pool: &mut MasterPool, error: &mut Option<String>| {
+            pool.mark_requested();
+            // The request/grant exchange crosses the master↔head network.
+            if !cluster.head_rtt.is_zero() {
+                std::thread::sleep(cluster.head_rtt);
             }
-            Ok(ToMaster::Resolve { outcome }) => {
-                note_outcome(head, loc, outcome, &mut recovery, &mut error);
-            }
-            Ok(ToMaster::Reclaim { chunk }) => {
-                head.lock().release(loc, chunk);
-            }
-            Ok(ToMaster::Finished {
-                stats: s,
-                robj,
-                retired,
-            }) => {
-                match retired {
-                    Some(RetireReason::Killed) => recovery.slaves_killed += 1,
-                    Some(RetireReason::TooManyFailures) => recovery.slaves_retired += 1,
-                    None => {}
+            match head.request_jobs(loc) {
+                Ok((grant, exhausted)) => {
+                    pool.on_grant(grant.jobs, grant.stolen);
+                    if exhausted {
+                        pool.mark_exhausted();
+                    }
                 }
-                finished_slaves += 1;
-                stats.push(s);
-                match robj_acc.as_mut() {
-                    None => robj_acc = Some(robj),
-                    Some(acc) => acc.merge(*robj),
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-
-        // Feed parked slaves, refilling from the head as needed.
-        while let Some(&slave) = parked.front() {
-            if let Some(job) = pool.take() {
-                parked.pop_front();
-                let _ = job_txs[slave].send(Some(job));
-            } else if pool.finished() {
-                parked.pop_front();
-                let _ = job_txs[slave].send(None);
-            } else {
-                refill(&mut pool);
-                if pool.is_empty() && !pool.finished() {
-                    // Nothing available right now; re-poll after MASTER_POLL.
-                    break;
+                Err(e) => {
+                    // The head is gone; there will be no more work. Wind
+                    // the cluster down so slaves drain and finish.
+                    error.get_or_insert(format!("cluster {}: head unreachable: {e}", cluster.name));
+                    pool.mark_exhausted();
                 }
             }
-        }
-        // Prefetch below the low-water mark so slaves rarely block on a
-        // head round-trip.
-        if finished_slaves < n_slaves && pool.should_request() {
-            refill(&mut pool);
-        }
-    }
+        };
 
-    // A dying master returns its undispatched leases so surviving clusters
-    // can steal them (all-slaves-lost is survivable for the run).
-    let leases = pool.drain();
-    if !leases.is_empty() {
-        let mut h = head.lock();
-        for job in &leases {
-            h.fail(loc, job.chunk);
-        }
-    }
+        while finished_slaves < n_slaves {
+            match rx.recv_timeout(MASTER_POLL) {
+                Ok(ToMaster::Request { slave, outcome }) => {
+                    if let Err(e) = note_outcome(head, loc, outcome, &mut recovery, &mut error) {
+                        error.get_or_insert(format!("head unreachable: {e}"));
+                    }
+                    parked.push_back(slave);
+                }
+                Ok(ToMaster::Resolve { outcome }) => {
+                    if let Err(e) = note_outcome(head, loc, outcome, &mut recovery, &mut error) {
+                        error.get_or_insert(format!("head unreachable: {e}"));
+                    }
+                }
+                Ok(ToMaster::Reclaim { chunk }) => {
+                    if let Err(e) = head.resolve(loc, Resolution::Released(chunk)) {
+                        error.get_or_insert(format!("head unreachable: {e}"));
+                    }
+                }
+                Ok(ToMaster::Finished {
+                    stats: s,
+                    robj,
+                    retired,
+                }) => {
+                    match retired {
+                        Some(RetireReason::Killed) => recovery.slaves_killed += 1,
+                        Some(RetireReason::TooManyFailures) => recovery.slaves_retired += 1,
+                        None => {}
+                    }
+                    finished_slaves += 1;
+                    stats.push(s);
+                    match robj_acc.as_mut() {
+                        None => robj_acc = Some(robj),
+                        Some(acc) => acc.merge(*robj),
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
 
-    let local_done = Instant::now();
-    // Ship the cluster's reduction object to the head through the WAN.
-    if let Some(robj) = &robj_acc {
-        let t_ship = Instant::now();
-        if let Some(wan) = &cluster.wan_to_head {
-            wan.acquire(robj.size_bytes() as u64);
+            // Feed parked slaves, refilling from the head as needed.
+            while let Some(&slave) = parked.front() {
+                if let Some(job) = pool.take() {
+                    parked.pop_front();
+                    let _ = job_txs[slave].send(Some(job));
+                } else if pool.finished() {
+                    parked.pop_front();
+                    let _ = job_txs[slave].send(None);
+                } else {
+                    refill(&mut pool, &mut error);
+                    if pool.is_empty() && !pool.finished() {
+                        // Nothing available right now; re-poll after MASTER_POLL.
+                        break;
+                    }
+                }
+            }
+            // Prefetch below the low-water mark so slaves rarely block on a
+            // head round-trip.
+            if finished_slaves < n_slaves && pool.should_request() {
+                refill(&mut pool, &mut error);
+            }
         }
-        cfg.sink.emit(
-            Some(cluster_idx as u32),
-            None,
-            EventKind::RobjMerge {
-                bytes: robj.size_bytes() as u64,
-                ns: t_ship.elapsed().as_nanos() as u64,
-            },
-        );
-    }
-    let _ = result_tx.send(ClusterResult {
-        cluster: cluster_idx,
-        robj: robj_acc,
-        stats,
-        local_done,
-        recovery,
-        error,
-    });
+
+        // A dying master returns its undispatched leases so surviving
+        // clusters can steal them (all-slaves-lost is survivable).
+        for job in pool.drain() {
+            let _ = head.resolve(loc, Resolution::Failed(job.chunk));
+        }
+
+        let local_done = Instant::now();
+        // Ship the cluster's reduction object to the head through the WAN.
+        if let Some(robj) = &robj_acc {
+            let t_ship = Instant::now();
+            if let Some(wan) = &cluster.wan_to_head {
+                wan.acquire(robj.size_bytes() as u64);
+            }
+            cfg.sink.emit(
+                Some(cluster_idx as u32),
+                None,
+                EventKind::RobjMerge {
+                    bytes: robj.size_bytes() as u64,
+                    ns: t_ship.elapsed().as_nanos() as u64,
+                },
+            );
+        }
+        ClusterOutcome {
+            robj: robj_acc,
+            stats,
+            local_done,
+            recovery,
+            error,
+        }
+    })
 }
 
 /// One slave thread: pull jobs, retrieve, fold — and survive failures.
@@ -635,9 +714,9 @@ fn slave_loop<A: GRApp>(
     params: &A::Params,
     layout: &DatasetLayout,
     placement: &Placement,
-    deployment: &Deployment,
+    fabric: &DataFabric,
     cfg: &RuntimeConfig,
-    cluster: &crate::deploy::ClusterSpec,
+    cluster: &ClusterSpec,
     cluster_idx: usize,
     slave: usize,
     retry_counter: Arc<AtomicU64>,
@@ -737,8 +816,7 @@ fn slave_loop<A: GRApp>(
                 let chunk = layout.chunk(job.chunk);
                 let file = layout.file(chunk.file);
                 let home = placement.home(chunk.file);
-                let store = deployment
-                    .fabric
+                let store = fabric
                     .store_for(my_loc, home)
                     .expect("deployment validated");
                 let retriever = if home == my_loc {
@@ -910,8 +988,7 @@ fn slave_loop<A: GRApp>(
                             );
                             let file = layout.file(chunk.file);
                             let home = placement.home(chunk.file);
-                            let store = deployment
-                                .fabric
+                            let store = fabric
                                 .store_for(my_loc, home)
                                 .expect("deployment validated");
                             pending.push_back(JobOutcome::Failed {

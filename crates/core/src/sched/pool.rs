@@ -96,7 +96,11 @@ pub struct LocationCounters {
 enum JobState {
     Pending,
     Assigned(LocationId),
-    Done,
+    /// Completed, remembering *who* completed it: a distributed head must
+    /// be able to re-enqueue a peer's completions if that peer dies before
+    /// shipping the reduction object they were folded into (see
+    /// [`JobPool::forfeit`]).
+    Done(LocationId),
     /// Failed more than `max_job_failures` times; will never be granted
     /// again. A pool with dead jobs can never report [`JobPool::all_done`].
     Dead,
@@ -327,7 +331,7 @@ impl JobPool {
             }
             s => panic!("{job} completed while in state {s:?}"),
         }
-        self.state[idx] = JobState::Done;
+        self.state[idx] = JobState::Done(loc);
         let f = self.chunk_file[idx].0 as usize;
         self.readers[f] -= 1;
         self.n_outstanding -= 1;
@@ -420,6 +424,46 @@ impl JobPool {
             }
         }
         returned
+    }
+
+    /// Forget everything `loc` contributed that the head has not banked:
+    /// its outstanding leases are failed back (as [`JobPool::reclaim`]),
+    /// and the jobs it *completed* are re-enqueued uncharged — the results
+    /// of those completions lived only in the peer's reduction object,
+    /// which died with it. Only call this for a peer that never shipped
+    /// its robj; once shipped, its completions are safe. Returns the
+    /// number of jobs returned to the pending queues.
+    pub fn forfeit(&mut self, loc: LocationId) -> usize {
+        let reclaimed = self.reclaim(loc).len();
+        let done: Vec<ChunkId> = self
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == JobState::Done(loc))
+            .map(|(i, _)| ChunkId(i as u32))
+            .collect();
+        for &job in &done {
+            let idx = job.0 as usize;
+            self.state[idx] = JobState::Pending;
+            let f = self.chunk_file[idx].0 as usize;
+            let q = &mut self.pending[f];
+            let pos = q.partition_point(|c| c.0 < job.0);
+            q.insert(pos, job);
+            self.n_pending += 1;
+            self.n_reenqueued += 1;
+            // The completion is un-banked: the counter no longer reflects a
+            // result the run will ever see.
+            self.counters.entry(loc).or_default().completed -= 1;
+            self.sink.emit(
+                self.cluster_id(loc),
+                None,
+                EventKind::LeaseReleased {
+                    chunk: job.0 as u64,
+                    charged: false,
+                },
+            );
+        }
+        reclaimed + done.len()
     }
 
     /// Choose a file homed at `loc` that still has pending jobs.
@@ -775,6 +819,68 @@ mod tests {
         }
         assert!(p.exhausted_for(CLOUD));
         assert!(p.all_done());
+    }
+
+    #[test]
+    fn forfeit_reenqueues_leases_and_completions() {
+        let mut p = pool(PoolConfig {
+            local_batch: 4,
+            ..Default::default()
+        });
+        let g = p.request(LOCAL);
+        p.complete(LOCAL, g.jobs[0]);
+        p.complete(LOCAL, g.jobs[1]);
+        // LOCAL dies before shipping: its 2 leases AND its 2 completions
+        // all go back to pending.
+        let returned = p.forfeit(LOCAL);
+        assert_eq!(returned, 4);
+        assert_eq!(p.pending(), 16);
+        assert_eq!(p.outstanding(), 0);
+        assert_eq!(p.counters(LOCAL).completed, 0, "completions un-banked");
+        assert_eq!(p.reenqueued(), 4);
+        assert!(!p.all_done());
+    }
+
+    #[test]
+    fn forfeited_jobs_completable_elsewhere() {
+        let mut p = pool(PoolConfig {
+            local_batch: 16,
+            remote_batch: 16,
+            ..Default::default()
+        });
+        loop {
+            let g = p.request(LOCAL);
+            if g.is_empty() {
+                break;
+            }
+            for j in g.jobs {
+                p.complete(LOCAL, j);
+            }
+        }
+        assert!(p.all_done());
+        let returned = p.forfeit(LOCAL);
+        assert_eq!(returned, 16);
+        // The surviving cluster re-runs everything; the pool converges.
+        loop {
+            let g = p.request(CLOUD);
+            if g.is_empty() {
+                break;
+            }
+            for j in g.jobs {
+                p.complete(CLOUD, j);
+            }
+        }
+        assert!(p.all_done());
+        assert_eq!(p.counters(CLOUD).completed, 16);
+    }
+
+    #[test]
+    fn forfeit_of_uninvolved_location_is_noop() {
+        let mut p = pool(PoolConfig::default());
+        let g = p.request(LOCAL);
+        assert_eq!(p.forfeit(CLOUD), 0);
+        assert_eq!(p.outstanding(), g.jobs.len(), "LOCAL leases untouched");
+        assert_eq!(p.reenqueued(), 0);
     }
 
     #[test]

@@ -989,6 +989,7 @@ fn simulate_inner(
         },
         cache_hits: 0,
         cache_misses: 0,
+        net: Default::default(),
     };
     let events = world.recorder.map(|r| r.take()).unwrap_or_default();
     Ok((report, world.trace, events))

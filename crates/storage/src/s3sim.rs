@@ -118,6 +118,19 @@ impl ObjectStore for RemoteStore {
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> io::Result<Bytes> {
         let start = Instant::now();
+        // Resolve the GET first: a request that fails (missing key, an
+        // injected fault in the backing store) pays the round-trip latency
+        // but must not bill `len` bytes of bandwidth to the shared wire —
+        // the service never streamed the body. Charging up front both
+        // inflated `bytes_served()` with bytes that were never delivered and
+        // slept the full transfer time on every doomed retry.
+        let body = match self.inner.get_range(key, offset, len) {
+            Ok(body) => body,
+            Err(e) => {
+                self.shared.acquire(0);
+                return Err(e);
+            }
+        };
         // Shared bottleneck: queueing + aggregate bandwidth + latency.
         self.shared.acquire(len);
         // Per-connection streaming cap.
@@ -129,7 +142,7 @@ impl ObjectStore for RemoteStore {
                 std::thread::sleep(conn_floor - elapsed);
             }
         }
-        self.inner.get_range(key, offset, len)
+        Ok(body)
     }
 
     fn size_of(&self, key: &str) -> io::Result<u64> {
@@ -198,6 +211,26 @@ mod tests {
         s.get_range("obj", 0, 500).unwrap();
         assert_eq!(s.bytes_served(), 1500);
         assert_eq!(s.requests_served(), 2);
+    }
+
+    #[test]
+    fn failed_gets_pay_latency_but_do_not_count_bytes_served() {
+        let s = store_with(RemoteProfile {
+            request_latency: Duration::from_millis(10),
+            // 1 B/s: if a failed GET charged its length we'd sleep for ages
+            // and the byte counter would lie.
+            aggregate_bps: 1.0,
+            per_conn_bps: f64::INFINITY,
+        });
+        let t0 = Instant::now();
+        assert!(s.get_range("no-such-object", 0, 1_000_000).is_err());
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "failed GET slept out a transfer that never happened: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(s.bytes_served(), 0, "no body streamed, no bytes billed");
+        assert_eq!(s.requests_served(), 1, "the request itself still counts");
     }
 
     #[test]
