@@ -360,6 +360,45 @@ impl JobPool {
         self.return_lease(loc, job, false, "released");
     }
 
+    /// True iff `job` is in range and currently assigned to `loc`.
+    ///
+    /// The panicking [`complete`](JobPool::complete)/[`fail`](JobPool::fail)/
+    /// [`release`](JobPool::release) encode *in-process* invariants: a thread
+    /// resolving a job it does not hold is a bug in this binary. A networked
+    /// head, however, is driven by frames from other processes — a peer
+    /// declared lost (its leases forfeited, possibly re-granted elsewhere)
+    /// may still deliver late or bogus resolutions, and those must not be
+    /// able to crash or corrupt the run. The `try_` variants below validate
+    /// with this predicate and report rejection instead of panicking.
+    pub fn holds(&self, loc: LocationId, job: ChunkId) -> bool {
+        self.state.get(job.0 as usize) == Some(&JobState::Assigned(loc))
+    }
+
+    /// Tolerant [`complete`](JobPool::complete) for untrusted remote input:
+    /// returns `false` (and changes nothing) unless [`holds`](JobPool::holds).
+    pub fn try_complete(&mut self, loc: LocationId, job: ChunkId) -> bool {
+        self.holds(loc, job) && {
+            self.complete(loc, job);
+            true
+        }
+    }
+
+    /// Tolerant [`fail`](JobPool::fail); see [`try_complete`](JobPool::try_complete).
+    pub fn try_fail(&mut self, loc: LocationId, job: ChunkId) -> bool {
+        self.holds(loc, job) && {
+            self.fail(loc, job);
+            true
+        }
+    }
+
+    /// Tolerant [`release`](JobPool::release); see [`try_complete`](JobPool::try_complete).
+    pub fn try_release(&mut self, loc: LocationId, job: ChunkId) -> bool {
+        self.holds(loc, job) && {
+            self.release(loc, job);
+            true
+        }
+    }
+
     fn return_lease(&mut self, loc: LocationId, job: ChunkId, charge_budget: bool, verb: &str) {
         let idx = job.0 as usize;
         match self.state[idx] {
@@ -881,6 +920,28 @@ mod tests {
         assert_eq!(p.forfeit(CLOUD), 0);
         assert_eq!(p.outstanding(), g.jobs.len(), "LOCAL leases untouched");
         assert_eq!(p.reenqueued(), 0);
+    }
+
+    #[test]
+    fn try_resolutions_reject_non_holders_without_panicking() {
+        let mut p = pool(PoolConfig::default());
+        let g = p.request(LOCAL);
+        let job = g.jobs[0];
+        // Wrong holder, out-of-range id, un-granted job: all rejected, no
+        // state change — the inputs a networked head gets from a lost or
+        // hostile peer.
+        assert!(!p.try_complete(CLOUD, job));
+        assert!(!p.try_fail(CLOUD, job));
+        assert!(!p.try_release(CLOUD, job));
+        assert!(!p.try_complete(LOCAL, ChunkId(u32::MAX)));
+        assert!(!p.try_complete(LOCAL, ChunkId(15)), "pending, not assigned");
+        assert_eq!(p.counters(CLOUD).completed, 0);
+        assert_eq!(p.counters(CLOUD).failed, 0);
+        assert_eq!(p.outstanding(), g.jobs.len());
+        // The real holder still resolves normally — exactly once.
+        assert!(p.try_complete(LOCAL, job));
+        assert!(!p.try_complete(LOCAL, job), "double resolve rejected");
+        assert_eq!(p.counters(LOCAL).completed, 1);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! return to the pending queues (the completions were folded into a
 //! reduction object that will now never arrive), so surviving workers
 //! re-process them and the run still produces the exact result.
+//!
+//! Forfeiture is **final**: frames that arrive from a peer after it was
+//! declared lost are dropped unprocessed. A stalled-but-alive worker that
+//! wakes up and delivers its robj or late lease resolutions must not have
+//! them banked — the forfeited work may already be re-granted to (or
+//! re-done by) survivors, and counting it twice would break the byte-exact
+//! result contract.
 
 use crate::robj::RobjCodec;
 use crate::transport::{split_tcp, LinkRx, LinkTx, NetConfig};
@@ -102,6 +109,13 @@ pub fn serve_head<R: ReductionObject + RobjCodec>(
 /// handshaken or [`NetConfig::accept_timeout`] expires. Rejected dialers
 /// (version/fingerprint/app mismatch, duplicate cluster or location) get a
 /// `Reject { reason }` frame and are dropped without counting.
+///
+/// Each accepted connection's `Hello` is read on a short-lived thread, so
+/// a dialer that connects but never speaks (a port-scanner, a stalled
+/// client) ties up only its own thread for `io_timeout` instead of
+/// stalling every legitimate join behind it. Validation and the
+/// `Welcome`/`Reject` reply stay on this thread, serialized against
+/// `peers`, so duplicate-slot checks cannot race.
 pub fn accept_workers(
     listener: &TcpListener,
     expected: usize,
@@ -113,40 +127,76 @@ pub fn accept_workers(
     listener.set_nonblocking(true)?;
     let deadline = Instant::now() + net.accept_timeout;
     let mut peers: Vec<HeadPeer> = Vec::with_capacity(expected);
+    type PendingHello = (LinkTx, LinkRx, Result<Message, String>);
+    let (hello_tx, hello_rx) = unbounded::<PendingHello>();
     while peers.len() < expected {
         match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;
-                let (tx, rx) = split_tcp(stream, net)?;
-                match handshake_one(tx, rx, &peers, net, fingerprint, app_tag) {
-                    Ok(peer) => {
-                        cfg.sink.emit(
-                            Some(peer.spec.cluster),
-                            None,
-                            EventKind::PeerJoined {
-                                cores: peer.spec.cores as u64,
-                            },
-                        );
-                        peers.push(peer);
-                    }
-                    Err(reason) => {
-                        // Rejection already sent (best-effort); keep waiting
-                        // for a valid worker on this slot.
-                        eprintln!("head: rejected worker: {reason}");
-                    }
-                }
+                let hello_tx = hello_tx.clone();
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let (tx, mut rx) = match split_tcp(stream, &net) {
+                        Ok(halves) => halves,
+                        Err(_) => return,
+                    };
+                    let hello = match rx.recv(net.io_timeout) {
+                        Ok(Some((msg, _bytes))) => Ok(msg),
+                        Ok(None) => Err("no Hello before timeout".to_string()),
+                        Err(e) => Err(format!("reading Hello: {e}")),
+                    };
+                    // The accept loop may be gone (deadline, or complement
+                    // already full) — then the send fails and the dialer's
+                    // socket just drops.
+                    let _ = hello_tx.send((tx, rx, hello));
+                });
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        format!("only {} of {expected} worker(s) joined", peers.len()),
-                    ));
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
             Err(e) => return Err(e),
         }
+        // Admit every dialer whose Hello has landed.
+        while let Ok((mut tx, rx, hello)) = hello_rx.try_recv() {
+            let hello = match hello {
+                Ok(hello) => hello,
+                Err(reason) => {
+                    eprintln!("head: dropped dialer: {reason}");
+                    continue;
+                }
+            };
+            if peers.len() == expected {
+                let _ = tx.send(&Message::Reject {
+                    reason: format!("all {expected} worker slot(s) filled"),
+                });
+                continue;
+            }
+            match admit_hello(tx, rx, hello, &peers, net, fingerprint, app_tag) {
+                Ok(peer) => {
+                    cfg.sink.emit(
+                        Some(peer.spec.cluster),
+                        None,
+                        EventKind::PeerJoined {
+                            cores: peer.spec.cores as u64,
+                        },
+                    );
+                    peers.push(peer);
+                }
+                Err(reason) => {
+                    // Rejection already sent (best-effort); keep waiting
+                    // for a valid worker on this slot.
+                    eprintln!("head: rejected worker: {reason}");
+                }
+            }
+        }
+        if peers.len() >= expected {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("only {} of {expected} worker(s) joined", peers.len()),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
     Ok(peers)
 }
@@ -155,8 +205,31 @@ pub fn accept_workers(
 /// loopback harnesses can handshake channel-backed peers the same way the
 /// accept loop handshakes sockets.
 pub fn handshake_one(
-    mut tx: LinkTx,
+    tx: LinkTx,
     mut rx: LinkRx,
+    accepted: &[HeadPeer],
+    net: &NetConfig,
+    fingerprint: u64,
+    app_tag: &str,
+) -> Result<HeadPeer, String> {
+    // Handshake traffic is deliberately not counted into net stats/events:
+    // the report's net counters cover the post-handshake protocol, so the
+    // recorded trace and the RunReport reconcile exactly.
+    let hello = match rx.recv(net.io_timeout) {
+        Ok(Some((msg, _bytes))) => msg,
+        Ok(None) => return Err("no Hello before timeout".into()),
+        Err(e) => return Err(format!("reading Hello: {e}")),
+    };
+    admit_hello(tx, rx, hello, accepted, net, fingerprint, app_tag)
+}
+
+/// Validate a received `Hello` against the already-accepted peers; answer
+/// `Welcome` or `Reject`. Must be called serially with respect to
+/// `accepted` (the duplicate-slot checks assume no concurrent admission).
+fn admit_hello(
+    mut tx: LinkTx,
+    rx: LinkRx,
+    hello: Message,
     accepted: &[HeadPeer],
     net: &NetConfig,
     fingerprint: u64,
@@ -167,14 +240,6 @@ pub fn handshake_one(
             reason: reason.clone(),
         });
         Err(reason)
-    };
-    // Handshake traffic is deliberately not counted into net stats/events:
-    // the report's net counters cover the post-handshake protocol, so the
-    // recorded trace and the RunReport reconcile exactly.
-    let hello = match rx.recv(net.io_timeout) {
-        Ok(Some((msg, _bytes))) => msg,
-        Ok(None) => return Err("no Hello before timeout".into()),
-        Err(e) => return Err(format!("reading Hello: {e}")),
     };
     let Message::Hello {
         version,
@@ -334,8 +399,6 @@ pub fn run_head<R: ReductionObject + RobjCodec>(
             match event_rx.recv_timeout(poll) {
                 Ok(FromPeer::Frame { peer, msg, bytes }) => {
                     let cluster = states[peer].spec.cluster;
-                    let loc = states[peer].spec.location;
-                    states[peer].last_seen = Instant::now();
                     net_stats.frames_recv += 1;
                     net_stats.bytes_recv += bytes as u64;
                     cfg.sink.emit(
@@ -345,48 +408,36 @@ pub fn run_head<R: ReductionObject + RobjCodec>(
                             bytes: bytes as u64,
                         },
                     );
-                    match msg {
-                        Message::JobRequest => {
-                            let grant = pool.request(loc);
-                            let exhausted = grant.is_empty() && pool.exhausted_for(loc);
-                            let reply = Message::JobGrant {
-                                jobs: grant.jobs.iter().map(|c| c.0).collect(),
-                                stolen: grant.stolen,
-                                exhausted,
-                            };
-                            send_counted(&mut txs[peer], &reply, cluster, cfg, &mut net_stats);
-                        }
-                        Message::Resolve { chunk, disposition } => {
-                            let chunk = ChunkId(chunk);
-                            match disposition {
-                                Disposition::Completed => pool.complete(loc, chunk),
-                                Disposition::Failed => pool.fail(loc, chunk),
-                                Disposition::Released => pool.release(loc, chunk),
-                            }
-                        }
-                        Message::Heartbeat { .. } => {}
-                        Message::RobjShip { robj, report } => {
-                            if let Some(e) = &report.error {
-                                first_error.get_or_insert_with(|| e.clone());
-                            }
-                            states[peer].shipped = Some((robj, report, Instant::now()));
-                            send_counted(
-                                &mut txs[peer],
-                                &Message::ShipAck,
-                                cluster,
-                                cfg,
-                                &mut net_stats,
-                            );
-                        }
-                        Message::Goodbye => {
-                            states[peer].said_goodbye = true;
-                        }
-                        other => {
-                            first_error.get_or_insert(format!(
-                                "peer {} sent unexpected {other:?}",
+                    // Forfeiture is final. A lost-but-alive peer's leases
+                    // and completions were re-enqueued at loss and may
+                    // already be re-granted or re-done by survivors:
+                    // banking its late robj would count that work twice,
+                    // and resolving its late leases would corrupt the
+                    // pool. Count the bytes, drop the frame.
+                    if states[peer].lost {
+                        match msg {
+                            Message::Goodbye | Message::Heartbeat { .. } => {}
+                            dropped => eprintln!(
+                                "head: dropping late {} from lost worker {}",
+                                frame_name(&dropped),
                                 states[peer].spec.name
-                            ));
+                            ),
                         }
+                        // Fall through to the heartbeat sweep so a frame
+                        // flood from a lost peer cannot delay detecting
+                        // *other* peers' losses.
+                    } else {
+                        states[peer].last_seen = Instant::now();
+                        handle_frame(
+                            peer,
+                            msg,
+                            &mut states,
+                            &mut txs,
+                            &mut pool,
+                            cfg,
+                            &mut net_stats,
+                            &mut first_error,
+                        );
                     }
                 }
                 Ok(FromPeer::Gone { peer, error }) => {
@@ -543,6 +594,86 @@ pub fn run_head<R: ReductionObject + RobjCodec>(
         result: final_robj,
         report,
     })
+}
+
+/// One protocol frame from a live (non-lost) peer against the pool.
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    peer: usize,
+    msg: Message,
+    states: &mut [PeerState],
+    txs: &mut [LinkTx],
+    pool: &mut JobPool,
+    cfg: &RuntimeConfig,
+    net_stats: &mut NetStats,
+    first_error: &mut Option<String>,
+) {
+    let cluster = states[peer].spec.cluster;
+    let loc = states[peer].spec.location;
+    match msg {
+        Message::JobRequest { seq } => {
+            let grant = pool.request(loc);
+            let exhausted = grant.is_empty() && pool.exhausted_for(loc);
+            let reply = Message::JobGrant {
+                seq,
+                jobs: grant.jobs.iter().map(|c| c.0).collect(),
+                stolen: grant.stolen,
+                exhausted,
+            };
+            send_counted(&mut txs[peer], &reply, cluster, cfg, net_stats);
+        }
+        Message::Resolve { chunk, disposition } => {
+            // Tolerant resolution: this input crosses a process boundary,
+            // so a violated invariant is the *peer's* bug — record it,
+            // don't panic the run.
+            let chunk = ChunkId(chunk);
+            let ok = match disposition {
+                Disposition::Completed => pool.try_complete(loc, chunk),
+                Disposition::Failed => pool.try_fail(loc, chunk),
+                Disposition::Released => pool.try_release(loc, chunk),
+            };
+            if !ok {
+                first_error.get_or_insert(format!(
+                    "peer {} resolved {chunk} it does not hold",
+                    states[peer].spec.name
+                ));
+            }
+        }
+        Message::Heartbeat { .. } => {}
+        Message::RobjShip { robj, report } => {
+            if let Some(e) = &report.error {
+                first_error.get_or_insert_with(|| e.clone());
+            }
+            states[peer].shipped = Some((robj, report, Instant::now()));
+            send_counted(&mut txs[peer], &Message::ShipAck, cluster, cfg, net_stats);
+        }
+        Message::Goodbye => {
+            states[peer].said_goodbye = true;
+        }
+        other => {
+            first_error.get_or_insert(format!(
+                "peer {} sent unexpected {other:?}",
+                states[peer].spec.name
+            ));
+        }
+    }
+}
+
+/// Short display name of a message for drop logging (a `RobjShip`'s full
+/// `Debug` form would dump the encoded reduction object).
+fn frame_name(msg: &Message) -> &'static str {
+    match msg {
+        Message::Hello { .. } => "Hello",
+        Message::Welcome { .. } => "Welcome",
+        Message::Reject { .. } => "Reject",
+        Message::JobRequest { .. } => "JobRequest",
+        Message::JobGrant { .. } => "JobGrant",
+        Message::Resolve { .. } => "Resolve",
+        Message::Heartbeat { .. } => "Heartbeat",
+        Message::RobjShip { .. } => "RobjShip",
+        Message::ShipAck => "ShipAck",
+        Message::Goodbye => "Goodbye",
+    }
 }
 
 /// Send a frame to a peer, counting it into obs + report. A send failure

@@ -82,8 +82,14 @@ pub enum LinkRx {
 
 impl LinkTx {
     /// Send one message as a frame; returns the frame size in bytes.
+    ///
+    /// A message whose payload exceeds [`MAX_FRAME_BYTES`] fails here with
+    /// `InvalidInput` — the receiver would kill the link over it, so the
+    /// sender gets the clear error instead.
     pub fn send(&mut self, msg: &Message) -> io::Result<usize> {
-        let frame = msg.encode_frame();
+        let frame = msg
+            .encode_frame()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let n = frame.len();
         match self {
             LinkTx::Tcp(stream) => stream.write_all(&frame)?,
@@ -249,6 +255,18 @@ mod tests {
     }
 
     #[test]
+    fn oversized_frame_rejected_at_send_not_at_peer() {
+        let (mut a, _b) = loopback_pair();
+        let msg = Message::RobjShip {
+            robj: vec![0u8; MAX_FRAME_BYTES],
+            report: crate::wire::WireClusterReport::default(),
+        };
+        let err = a.tx.send(&msg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("exceeds cap"), "{err}");
+    }
+
+    #[test]
     fn loopback_timeout_returns_none() {
         let (_a, mut b) = loopback_pair();
         assert!(b.rx.recv(Duration::from_millis(10)).unwrap().is_none());
@@ -269,7 +287,7 @@ mod tests {
         let cfg = NetConfig::default();
         let writer = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            let frame = Message::Heartbeat { seq: 99 }.encode_frame();
+            let frame = Message::Heartbeat { seq: 99 }.encode_frame().unwrap();
             // Dribble the frame one byte at a time to force reassembly.
             for b in frame {
                 s.write_all(&[b]).unwrap();

@@ -125,11 +125,16 @@ pub enum Message {
     },
     /// Head → worker: handshake refused; the connection closes after this.
     Reject { reason: String },
-    /// Worker → head: the master wants a job batch.
-    JobRequest,
-    /// Head → worker: reply to `JobRequest`. `exhausted` carries the
-    /// head's verdict observed atomically with the grant.
+    /// Worker → head: the master wants a job batch. `seq` increments per
+    /// request; the head echoes it in `JobGrant` so the worker can pair
+    /// replies to requests and reject a stale grant from a request it has
+    /// already given up on.
+    JobRequest { seq: u64 },
+    /// Head → worker: reply to `JobRequest`, echoing its `seq`.
+    /// `exhausted` carries the head's verdict observed atomically with the
+    /// grant.
     JobGrant {
+        seq: u64,
         jobs: Vec<u32>,
         stolen: bool,
         exhausted: bool,
@@ -202,6 +207,10 @@ impl WireWriter {
     }
 
     pub fn put_bytes(&mut self, v: &[u8]) {
+        // The `u32` length prefix would silently truncate past 4 GiB; any
+        // such payload also blows MAX_FRAME_BYTES, which `encode_frame`
+        // rejects — this assert just catches misuse closer to the source.
+        debug_assert!(v.len() <= u32::MAX as usize, "field too large for wire");
         self.put_u32(v.len() as u32);
         self.buf.extend_from_slice(v);
     }
@@ -384,13 +393,18 @@ impl Message {
                 w.put_u8(TAG_REJECT);
                 w.put_str(reason);
             }
-            Message::JobRequest => w.put_u8(TAG_JOB_REQUEST),
+            Message::JobRequest { seq } => {
+                w.put_u8(TAG_JOB_REQUEST);
+                w.put_u64(*seq);
+            }
             Message::JobGrant {
+                seq,
                 jobs,
                 stolen,
                 exhausted,
             } => {
                 w.put_u8(TAG_JOB_GRANT);
+                w.put_u64(*seq);
                 w.put_u32(jobs.len() as u32);
                 for j in jobs {
                     w.put_u32(*j);
@@ -450,14 +464,16 @@ impl Message {
             TAG_REJECT => Message::Reject {
                 reason: r.str()?.to_owned(),
             },
-            TAG_JOB_REQUEST => Message::JobRequest,
+            TAG_JOB_REQUEST => Message::JobRequest { seq: r.u64()? },
             TAG_JOB_GRANT => {
+                let seq = r.u64()?;
                 let n = r.u32()? as usize;
                 let mut jobs = Vec::with_capacity(n.min(MAX_FRAME_BYTES / 4));
                 for _ in 0..n {
                     jobs.push(r.u32()?);
                 }
                 Message::JobGrant {
+                    seq,
                     jobs,
                     stolen: r.bool()?,
                     exhausted: r.bool()?,
@@ -486,12 +502,21 @@ impl Message {
     }
 
     /// Encode as a complete frame: `u32` LE length prefix + payload.
-    pub fn encode_frame(&self) -> Vec<u8> {
+    ///
+    /// Fails with [`WireError::FrameTooLarge`] when the payload exceeds
+    /// [`MAX_FRAME_BYTES`]: the receiver would kill the link over such a
+    /// frame anyway, so the sender must get a clear error (e.g. "robj too
+    /// large to ship") instead of a confusing peer loss. The cap also
+    /// guards the `u32` length prefix (`MAX_FRAME_BYTES` < `u32::MAX`).
+    pub fn encode_frame(&self) -> Result<Vec<u8>, WireError> {
         let payload = self.encode();
+        if payload.len() > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge(payload.len()));
+        }
         let mut frame = Vec::with_capacity(4 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
-        frame
+        Ok(frame)
     }
 }
 
@@ -522,7 +547,7 @@ mod tests {
     #[test]
     fn frame_round_trip() {
         let m = Message::Heartbeat { seq: 42 };
-        let frame = m.encode_frame();
+        let frame = m.encode_frame().unwrap();
         let (back, used) = decode_framed(&frame).unwrap().unwrap();
         assert_eq!(back, m);
         assert_eq!(used, frame.len());
@@ -530,7 +555,7 @@ mod tests {
 
     #[test]
     fn incomplete_frames_ask_for_more() {
-        let frame = Message::Goodbye.encode_frame();
+        let frame = Message::Goodbye.encode_frame().unwrap();
         for cut in 0..frame.len() {
             assert_eq!(decode_framed(&frame[..cut]).unwrap(), None, "cut {cut}");
         }
@@ -544,6 +569,18 @@ mod tests {
             decode_framed(&frame),
             Err(WireError::FrameTooLarge(MAX_FRAME_BYTES + 1))
         );
+    }
+
+    #[test]
+    fn oversized_payload_rejected_at_encode() {
+        let m = Message::RobjShip {
+            robj: vec![0u8; MAX_FRAME_BYTES],
+            report: WireClusterReport::default(),
+        };
+        match m.encode_frame() {
+            Err(WireError::FrameTooLarge(n)) => assert!(n > MAX_FRAME_BYTES),
+            other => panic!("expected FrameTooLarge, got {:?}", other.map(|f| f.len())),
+        }
     }
 
     #[test]

@@ -87,12 +87,26 @@ pub struct WorkerOutcome<R> {
 /// and the shipping code behind a mutex; the grant receiver sits behind its
 /// own mutex because the channel shim's `Receiver` is single-consumer and
 /// not `Sync` (the `HeadPort` trait requires `Sync`).
+///
+/// Requests and grants are paired by sequence number. If the grant for a
+/// request does not arrive within `io_timeout`, the link is **poisoned**:
+/// the head may by then hold leases this worker will never run, and the
+/// only recovery that preserves the result contract is to die visibly —
+/// stop heartbeating, never ship, never say goodbye — so the head declares
+/// this worker lost and forfeits its leases back to the survivors.
 struct NetHeadPort {
     tx: Arc<Mutex<LinkTx>>,
-    grants: Mutex<Receiver<(Grant, bool)>>,
+    grants: Mutex<Receiver<(u64, Grant, bool)>>,
     io_timeout: Duration,
     cluster: u32,
     sink: cloudburst_core::obs::SinkHandle,
+    /// Sequence number of the most recent `JobRequest`; its `JobGrant`
+    /// must echo it. Any lower number is a stale grant from a request this
+    /// worker already gave up on.
+    seq: AtomicU64,
+    /// Set on a missed grant; shared with the heartbeat thread (which
+    /// stops beating) and the shipping path (which refuses to ship).
+    poisoned: Arc<AtomicBool>,
 }
 
 impl NetHeadPort {
@@ -111,17 +125,40 @@ impl NetHeadPort {
 
 impl HeadPort for NetHeadPort {
     fn request_jobs(&self, _loc: LocationId) -> io::Result<(Grant, bool)> {
-        self.send(&Message::JobRequest)?;
-        match self.grants.lock().recv_timeout(self.io_timeout) {
-            Ok(g) => Ok(g),
-            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "no JobGrant within io_timeout",
-            )),
-            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection to head lost",
-            )),
+        if self.poisoned.load(Ordering::Relaxed) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "link poisoned after a missed JobGrant",
+            ));
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.send(&Message::JobRequest { seq })?;
+        let grants = self.grants.lock();
+        let deadline = Instant::now() + self.io_timeout;
+        loop {
+            match grants.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                // A grant for an older request is stale: poisoning makes
+                // this unreachable in practice (a request is never issued
+                // after a miss), but the explicit pairing keeps the
+                // protocol self-checking.
+                Ok((got, grant, exhausted)) if got == seq => return Ok((grant, exhausted)),
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "no JobGrant within io_timeout; dropping the link so the head \
+                         reclaims this worker's leases",
+                    ));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection to head lost",
+                    ));
+                }
+            }
         }
     }
 
@@ -213,7 +250,8 @@ where
 
     let tx = Arc::new(Mutex::new(tx));
     let done = AtomicBool::new(false);
-    let (grant_tx, grant_rx) = unbounded::<(Grant, bool)>();
+    let poisoned = Arc::new(AtomicBool::new(false));
+    let (grant_tx, grant_rx) = unbounded::<(u64, Grant, bool)>();
     let (ack_tx, ack_rx) = unbounded::<()>();
     let port = NetHeadPort {
         tx: Arc::clone(&tx),
@@ -221,6 +259,8 @@ where
         io_timeout: net.io_timeout,
         cluster: spec.cluster,
         sink: cfg.sink.clone(),
+        seq: AtomicU64::new(0),
+        poisoned: Arc::clone(&poisoned),
     };
     let t0 = Instant::now();
     let retry_counter = Arc::new(AtomicU64::new(0));
@@ -248,6 +288,7 @@ where
                         );
                         match msg {
                             Message::JobGrant {
+                                seq,
                                 jobs,
                                 stolen,
                                 exhausted,
@@ -256,7 +297,7 @@ where
                                     jobs: jobs.into_iter().map(ChunkId).collect(),
                                     stolen,
                                 };
-                                if grant_tx.send((grant, exhausted)).is_err() {
+                                if grant_tx.send((seq, grant, exhausted)).is_err() {
                                     return;
                                 }
                             }
@@ -273,15 +314,18 @@ where
             }
         });
 
-        // --- Heartbeats at half the announced cadence. ---
+        // --- Heartbeats at half the announced cadence. A poisoned link
+        // stops beating on purpose: the head must declare this worker
+        // lost and forfeit its leases. ---
         let hb_tx = Arc::clone(&tx);
         let hb_done = &done;
+        let hb_poisoned = Arc::clone(&poisoned);
         let hb_interval = (heartbeat / 2).max(Duration::from_millis(10));
         scope.spawn(move || {
             let mut seq = 0u64;
             while !hb_done.load(Ordering::Relaxed) {
                 std::thread::sleep(hb_interval);
-                if hb_done.load(Ordering::Relaxed) {
+                if hb_done.load(Ordering::Relaxed) || hb_poisoned.load(Ordering::Relaxed) {
                     return;
                 }
                 seq += 1;
@@ -329,6 +373,19 @@ fn ship<R: RobjCodec>(
     ack_rx: &Receiver<()>,
     net: &NetConfig,
 ) -> Result<usize, NetError> {
+    if port.poisoned.load(Ordering::Relaxed) {
+        // A grant went missing mid-run: the head may hold leases this
+        // worker never executed. Shipping (and the Goodbye that follows a
+        // successful ship) would bank our robj and leave those leases
+        // assigned forever — the run would end `JobsFailed`. Dying without
+        // shipping instead makes the head forfeit everything we held and
+        // completed, and survivors re-run it to the exact result.
+        return Err(NetError::Protocol(
+            "link poisoned after a missed JobGrant; withholding robj so the head \
+             forfeits this worker's work"
+                .into(),
+        ));
+    }
     let robj = outcome
         .robj
         .as_ref()

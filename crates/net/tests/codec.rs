@@ -46,7 +46,7 @@ fn arb_report(
 
 /// Frame-level round trip shared by every case below.
 fn round_trip(msg: Message) {
-    let frame = msg.encode_frame();
+    let frame = msg.encode_frame().expect("within frame cap");
     let (back, used) = decode_framed(&frame)
         .expect("decodable")
         .expect("complete frame");
@@ -85,12 +85,17 @@ proptest! {
         round_trip(Message::Reject { reason });
     }
 
+    fn job_request_round_trips(seq in any::<u64>()) {
+        round_trip(Message::JobRequest { seq });
+    }
+
     fn job_grant_round_trips(
+        seq in any::<u64>(),
         jobs in prop::collection::vec(any::<u32>(), 0..64),
         stolen in any::<bool>(),
         exhausted in any::<bool>(),
     ) {
-        round_trip(Message::JobGrant { jobs, stolen, exhausted });
+        round_trip(Message::JobGrant { seq, jobs, stolen, exhausted });
     }
 
     fn resolve_round_trips(chunk in any::<u32>(), tag in any::<u8>()) {
@@ -113,8 +118,7 @@ proptest! {
     }
 
     fn bare_messages_round_trip(which in any::<bool>()) {
-        round_trip(if which { Message::JobRequest } else { Message::ShipAck });
-        round_trip(Message::Goodbye);
+        round_trip(if which { Message::ShipAck } else { Message::Goodbye });
     }
 
     /// Every proper prefix of any frame decodes as "incomplete", never as a
@@ -124,10 +128,10 @@ proptest! {
         seq in any::<u64>(),
     ) {
         for msg in [
-            Message::JobGrant { jobs: jobs.clone(), stolen: true, exhausted: false },
+            Message::JobGrant { seq, jobs: jobs.clone(), stolen: true, exhausted: false },
             Message::Heartbeat { seq },
         ] {
-            let frame = msg.encode_frame();
+            let frame = msg.encode_frame().expect("within frame cap");
             for cut in 0..frame.len() {
                 prop_assert_eq!(decode_framed(&frame[..cut]).unwrap(), None);
             }
@@ -148,9 +152,24 @@ proptest! {
     }
 }
 
+/// Send-side mirror of the length cap: a reduction object too large for
+/// one frame fails at encode with a precise error instead of being shipped
+/// and killing the link at the receiver.
+#[test]
+fn oversized_robj_rejected_at_encode() {
+    let msg = Message::RobjShip {
+        robj: vec![0u8; MAX_FRAME_BYTES],
+        report: WireClusterReport::default(),
+    };
+    assert!(matches!(
+        msg.encode_frame(),
+        Err(WireError::FrameTooLarge(n)) if n > MAX_FRAME_BYTES
+    ));
+}
+
 #[test]
 fn corrupted_length_prefix_is_rejected_not_allocated() {
-    let mut frame = Message::Heartbeat { seq: 1 }.encode_frame();
+    let mut frame = Message::Heartbeat { seq: 1 }.encode_frame().unwrap();
     frame[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
     assert_eq!(
         decode_framed(&frame),
@@ -202,9 +221,9 @@ fn hello_with_wrong_magic_rejected() {
 #[test]
 fn consecutive_frames_decode_in_order() {
     let a = Message::Heartbeat { seq: 1 };
-    let b = Message::JobRequest;
-    let mut buf = a.encode_frame();
-    buf.extend_from_slice(&b.encode_frame());
+    let b = Message::JobRequest { seq: 2 };
+    let mut buf = a.encode_frame().unwrap();
+    buf.extend_from_slice(&b.encode_frame().unwrap());
     let (first, used) = decode_framed(&buf).unwrap().unwrap();
     assert_eq!(first, a);
     let (second, used2) = decode_framed(&buf[used..]).unwrap().unwrap();
